@@ -1,0 +1,96 @@
+// Command highrpm-bench regenerates the paper's tables and figures on the
+// simulated platforms.
+//
+// Usage:
+//
+//	highrpm-bench [flags] [experiment ...]
+//
+// Without arguments every experiment runs in presentation order. Pass
+// experiment IDs (fig1, fig2, tab5, tab7, tab9, fig7, fig8, fig9, hyper,
+// overhead, jitter) to run a subset; -list prints them.
+//
+// The -scale flag picks the compute budget: "bench" (seconds), "quick"
+// (default, minutes), or "full" (the paper-faithful 1000 samples/suite over
+// all seven Table 3 combinations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"highrpm/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleFlag = flag.String("scale", "quick", "compute budget: bench, quick, or full")
+		seed      = flag.Int64("seed", 1, "simulation and model seed")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: highrpm-bench [flags] [experiment ...]\n\nflags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nexperiments:\n")
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(os.Stderr, "  %-9s %s\n", id, experiments.Describe(id))
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-9s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "bench":
+		scale = experiments.ScaleBench
+	case "quick":
+		scale = experiments.ScaleQuick
+	case "full":
+		scale = experiments.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "highrpm-bench: unknown scale %q (want bench, quick, or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	cfg := experiments.NewConfig(scale)
+	cfg.Seed = *seed
+	ws := experiments.NewWorkspace(cfg)
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.DefaultOrder()
+	}
+	fmt.Printf("highrpm-bench: scale=%s samples/suite=%d combos=%d seed=%d\n\n",
+		*scaleFlag, cfg.SamplesPerSuite, len(idsOrAll(cfg)), *seed)
+	start := time.Now()
+	for _, id := range ids {
+		t0 := time.Now()
+		tables, err := experiments.Run(ws, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "highrpm-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+		fmt.Printf("[%s took %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// idsOrAll reports how many Table 3 combinations the config evaluates, for
+// the banner line.
+func idsOrAll(cfg experiments.Config) []int {
+	n := cfg.MaxCombos
+	if n <= 0 {
+		n = 7
+	}
+	return make([]int, n)
+}

@@ -1,0 +1,146 @@
+// Command highrpm-monitor runs live high-resolution power monitoring over a
+// simulated cluster: it starts the HighRPM control-node service, launches
+// one simulated compute node per -nodes, streams telemetry through agents,
+// and prints per-second restored power next to the sparse IPMI readings the
+// service actually received.
+//
+// Usage:
+//
+//	highrpm-monitor [-model highrpm-model.json] [-nodes 2] [-bench HPCC/FFT]
+//	                [-duration 60] [-miss 10]
+//
+// Without -model a small model is trained in-process first (~seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"highrpm"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "trained model JSON (empty: train in-process)")
+		nodes     = flag.Int("nodes", 2, "number of simulated compute nodes")
+		bench     = flag.String("bench", "HPCC/FFT", "benchmark each node runs")
+		duration  = flag.Float64("duration", 60, "monitoring duration in seconds")
+		miss      = flag.Int("miss", 10, "IPMI reading interval in seconds")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		quiet     = flag.Bool("quiet", false, "only print the final summary")
+	)
+	flag.Parse()
+
+	model, err := loadOrTrain(*modelPath, *miss, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	svc := highrpm.NewService(model)
+	if err := svc.Listen("127.0.0.1:0"); err != nil {
+		fatal(err)
+	}
+	defer svc.Close()
+	fmt.Printf("service listening on %s\n", svc.Addr())
+
+	b, err := highrpm.FindBenchmark(*bench)
+	if err != nil {
+		fatal(err)
+	}
+
+	var (
+		mu  sync.Mutex
+		sum struct {
+			samples  int
+			absErr   float64
+			measured int
+		}
+	)
+	var wg sync.WaitGroup
+	for n := 0; n < *nodes; n++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			nodeID := fmt.Sprintf("node-%02d", id)
+			node, err := highrpm.NewNode(highrpm.ARMPlatform(), *seed+int64(id)*101)
+			if err != nil {
+				fatal(err)
+			}
+			agent, err := highrpm.DialService(svc.Addr(), nodeID)
+			if err != nil {
+				fatal(err)
+			}
+			defer agent.Close()
+			node.Attach(b)
+			for t := 0; float64(t) < *duration; t++ {
+				s := node.Step(1)
+				var measured *float64
+				if t%*miss == 0 {
+					v := s.PNode
+					measured = &v
+				}
+				est, err := agent.Send(s.Time, s.Counters.Slice(), measured)
+				if err != nil {
+					fatal(err)
+				}
+				mu.Lock()
+				sum.samples++
+				diff := est.PNode - s.PNode
+				if diff < 0 {
+					diff = -diff
+				}
+				sum.absErr += diff
+				if est.FromMeasurement {
+					sum.measured++
+				}
+				mu.Unlock()
+				if !*quiet && id == 0 {
+					tag := " "
+					if est.FromMeasurement {
+						tag = "*"
+					}
+					fmt.Printf("%s t=%3.0fs%s node=%6.1fW (true %6.1f)  cpu=%5.1fW (true %5.1f)  mem=%5.1fW (true %5.1f)\n",
+						nodeID, s.Time, tag, est.PNode, s.PNode, est.PCPU, s.PCPU, est.PMEM, s.PMEM)
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+
+	st := svc.Stats()
+	fmt.Printf("\nmonitored %d nodes, %d samples (%d from IM readings)\n", st.Nodes, st.Samples, st.Measured)
+	if sum.samples > 0 {
+		fmt.Printf("mean absolute node-power error: %.2f W over %d samples\n", sum.absErr/float64(sum.samples), sum.samples)
+	}
+}
+
+// loadOrTrain loads a persisted model or trains a compact one in-process.
+func loadOrTrain(path string, miss int, seed int64) (*highrpm.Model, error) {
+	if path != "" {
+		fmt.Printf("loading model from %s\n", path)
+		return highrpm.LoadModel(path)
+	}
+	fmt.Println("no -model given; training a compact model in-process...")
+	gen := highrpm.DefaultGenerateConfig()
+	gen.SamplesPerSuite = 240
+	gen.Seed = seed
+	train := &highrpm.Set{}
+	for _, s := range highrpm.SuiteNames() {
+		set, err := highrpm.GenerateSuite(gen, s)
+		if err != nil {
+			return nil, err
+		}
+		train.Append(set)
+	}
+	opts := highrpm.DefaultOptions()
+	opts.SetMissInterval(miss)
+	opts.Seed = seed
+	return highrpm.Train(train, opts)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "highrpm-monitor: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+package highrpm_test
+
+import (
+	"fmt"
+
+	"highrpm"
+)
+
+// ExampleEvaluate scores a restored power series against ground truth with
+// the paper's metrics (§5.5).
+func ExampleEvaluate() {
+	observed := []float64{100, 100, 100, 100}
+	predicted := []float64{110, 90, 100, 100}
+	m := highrpm.Evaluate(observed, predicted)
+	fmt.Printf("MAPE=%.0f%% RMSE=%.2f MAE=%.0f\n", m.MAPE, m.RMSE, m.MAE)
+	// Output: MAPE=5% RMSE=7.07 MAE=5
+}
+
+// ExampleAttributePower splits component power between two co-located jobs
+// by their counter shares.
+func ExampleAttributePower() {
+	jobs := []highrpm.JobActivity{
+		{JobID: "compute", Cycles: 9e10, MemAccesses: 1e8, CoreShare: 0.5},
+		{JobID: "memory", Cycles: 1e10, MemAccesses: 9e8, CoreShare: 0.5},
+	}
+	cfg := highrpm.AttributionConfig{CPUIdleW: 10, MEMIdleW: 6}
+	powers, err := highrpm.AttributePower(60, 26, jobs, cfg)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range powers {
+		fmt.Printf("%s: cpu %.0f W, mem %.0f W\n", p.JobID, p.CPUW, p.MEMW)
+	}
+	// Output:
+	// compute: cpu 50 W, mem 5 W
+	// memory: cpu 10 W, mem 21 W
+}
+
+// ExampleFindBenchmark looks up one of the 96 evaluation workloads.
+func ExampleFindBenchmark() {
+	b, err := highrpm.FindBenchmark("HPCC/STREAM")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(b.Suite, b.Name)
+	// Output: HPCC STREAM
+}
+
+// ExampleNewNode runs a workload on the simulated ARM platform and reads
+// the sparse IPMI sensor — the raw material HighRPM restores.
+func ExampleNewNode() {
+	node, err := highrpm.NewNode(highrpm.ARMPlatform(), 42)
+	if err != nil {
+		panic(err)
+	}
+	bench, err := highrpm.FindBenchmark("HPCC/FFT")
+	if err != nil {
+		panic(err)
+	}
+	trace := node.RunFor(bench, 30, 1)
+	sensor := highrpm.NewIPMISensor(10, 7)
+	readings := sensor.Readings(trace)
+	fmt.Printf("%d samples, %d IPMI readings\n", len(trace.Samples), len(readings))
+	// Output: 30 samples, 3 IPMI readings
+}

@@ -1,0 +1,287 @@
+// Package highrpm is the public API of the HighRPM reproduction — a
+// high-resolution power monitoring framework that combines coarse
+// integrated measurement (BMC/IPMI node power at ≤ 0.1 Sa/s) with software
+// power modeling to restore temporal resolution (1 Sa/s node power) and
+// spatial resolution (per-component CPU and memory power).
+//
+// The package re-exports the curated surface of the internal packages:
+//
+//   - Training and restoration: Train, Options, Model, the TRR models
+//     (StaticTRR, DynamicTRR) and the SRR spatial model.
+//   - Streaming monitoring: Monitor (one node) and the cluster service /
+//     agent pair (many nodes over TCP).
+//   - The simulated evaluation platforms: ARMPlatform, X86Platform, the 96
+//     benchmark workloads, sensors (IPMI, DirectProbe, RAPL) and the
+//     power-capping governor.
+//   - Dataset construction: suite generation, Table 3 train/test splits,
+//     and DynamicTRR window building.
+//   - Metrics: MAPE/RMSE/MAE/R² evaluation.
+//
+// See examples/quickstart for a five-minute tour and DESIGN.md for the
+// paper-to-module map.
+package highrpm
+
+import (
+	"highrpm/internal/attribution"
+	"highrpm/internal/cluster"
+	"highrpm/internal/core"
+	"highrpm/internal/dataset"
+	"highrpm/internal/governor"
+	"highrpm/internal/gpuext"
+	"highrpm/internal/platform"
+	"highrpm/internal/stats"
+	"highrpm/internal/workload"
+)
+
+// Core framework types.
+type (
+	// Model is a trained HighRPM instance: StaticTRR + DynamicTRR + SRR.
+	Model = core.HighRPM
+	// Options configures training (miss interval, network sizes, active
+	// learning).
+	Options = core.Options
+	// StaticTRR is the offline temporal-restoration model (spline + PMC
+	// residual tree + Algorithm 1).
+	StaticTRR = core.StaticTRR
+	// DynamicTRR is the online temporal-restoration model (windowed LSTM
+	// with per-measurement fine-tuning).
+	DynamicTRR = core.DynamicTRR
+	// SRR is the spatial-restoration model (shallow MLP over PMCs +
+	// node power).
+	SRR = core.SRR
+	// Monitor is the streaming per-node form of a trained Model.
+	Monitor = core.Monitor
+	// MonitorEstimate is one second's restored power from a Monitor.
+	MonitorEstimate = core.MonitorEstimate
+	// RestoreMode selects StaticTRR or DynamicTRR restoration.
+	RestoreMode = core.RestoreMode
+	// Report bundles node/CPU/memory accuracy metrics.
+	Report = core.Report
+)
+
+// Restoration modes.
+const (
+	// ModeStatic restores with StaticTRR (offline log analysis).
+	ModeStatic = core.ModeStatic
+	// ModeDynamic restores with DynamicTRR (online monitoring).
+	ModeDynamic = core.ModeDynamic
+)
+
+// Train fits a HighRPM model on labeled initial samples (§4.1 initial
+// learning stage, plus active learning when enabled in opts).
+func Train(initial *Set, opts Options) (*Model, error) { return core.Train(initial, opts) }
+
+// DefaultOptions returns the paper's evaluation configuration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewMonitor wraps a trained model for streaming use.
+func NewMonitor(m *Model) *Monitor { return core.NewMonitor(m) }
+
+// SaveModel writes a trained model to path as JSON.
+func SaveModel(path string, m *Model) error { return core.Save(path, m) }
+
+// LoadModel reads a trained model from path.
+func LoadModel(path string) (*Model, error) { return core.Load(path) }
+
+// Dataset types.
+type (
+	// Set is an ordered collection of (PMC, power) samples.
+	Set = dataset.Set
+	// Sample is one 1 Sa/s observation.
+	Sample = dataset.Sample
+	// GenerateConfig controls evaluation-trace collection.
+	GenerateConfig = dataset.GenerateConfig
+	// Combo is one Table 3 train/test combination.
+	Combo = dataset.Combo
+	// Split is a materialised train/test pair.
+	Split = dataset.Split
+)
+
+// GenerateSuite simulates a benchmark suite into 1 Sa/s samples.
+func GenerateSuite(cfg GenerateConfig, suite string) (*Set, error) {
+	return dataset.GenerateSuite(cfg, suite)
+}
+
+// BuildSplit materialises one Table 3 combination (seen or unseen).
+func BuildSplit(cfg GenerateConfig, combo Combo, seen bool) (*Split, error) {
+	return dataset.BuildSplit(cfg, combo, seen)
+}
+
+// Combos returns the seven Table 3 combinations.
+func Combos() []Combo { return dataset.Combos() }
+
+// DefaultGenerateConfig mirrors the paper's §5.3 collection settings.
+func DefaultGenerateConfig() GenerateConfig { return dataset.DefaultGenerateConfig() }
+
+// Platform types.
+type (
+	// PlatformConfig describes a simulated node.
+	PlatformConfig = platform.Config
+	// Node is a running node simulation.
+	Node = platform.Node
+	// Trace is a completed simulation run.
+	Trace = platform.Trace
+	// IPMISensor models the sparse BMC/IPMI measurement path.
+	IPMISensor = platform.IPMISensor
+	// DirectProbe models the 1 Sa/s bench measurement rig.
+	DirectProbe = platform.DirectProbe
+	// RAPL models the x86 energy-counter interface.
+	RAPL = platform.RAPL
+	// Reading is one sensor observation.
+	Reading = platform.Reading
+	// CappingConfig drives the power-capping governor.
+	CappingConfig = platform.CappingConfig
+	// CappingResult summarises a capped run.
+	CappingResult = platform.CappingResult
+)
+
+// ARMPlatform returns the paper's ARM evaluation node model.
+func ARMPlatform() PlatformConfig { return platform.ARMConfig() }
+
+// X86Platform returns the §6.3 x86/RAPL node model.
+func X86Platform() PlatformConfig { return platform.X86Config() }
+
+// NewNode creates a simulated node.
+func NewNode(cfg PlatformConfig, seed int64) (*Node, error) { return platform.NewNode(cfg, seed) }
+
+// NewIPMISensor returns the default sparse node-power sensor.
+func NewIPMISensor(intervalSeconds float64, seed int64) *IPMISensor {
+	return platform.NewIPMISensor(intervalSeconds, seed)
+}
+
+// NewDirectProbe returns the 0.1 W ground-truth probe.
+func NewDirectProbe(seed int64) *DirectProbe { return platform.NewDirectProbe(seed) }
+
+// RunCapped executes a benchmark under a power cap.
+func RunCapped(n *Node, b Benchmark, cfg CappingConfig) (*CappingResult, error) {
+	return platform.RunCapped(n, b, cfg)
+}
+
+// FromTrace converts a simulation trace into dataset samples.
+func FromTrace(tr *Trace, suite, bench string) *Set { return dataset.FromTrace(tr, suite, bench) }
+
+// Workload types.
+type (
+	// Benchmark is a named phase-programmed workload.
+	Benchmark = workload.Benchmark
+	// Phase is one execution phase of a benchmark.
+	Phase = workload.Phase
+)
+
+// Benchmarks returns the full 96-benchmark evaluation suite.
+func Benchmarks() []Benchmark { return workload.Suite() }
+
+// FindBenchmark looks a benchmark up by name (e.g. "HPCC/FFT").
+func FindBenchmark(name string) (Benchmark, error) { return workload.Find(name) }
+
+// SuiteNames returns the seven suite names of Table 3.
+func SuiteNames() []string { return workload.SuiteNames() }
+
+// Metrics types.
+type (
+	// Metrics bundles MAPE/RMSE/MAE/R².
+	Metrics = stats.Metrics
+)
+
+// Evaluate scores predictions against observations.
+func Evaluate(observed, predicted []float64) Metrics { return stats.Evaluate(observed, predicted) }
+
+// Cluster types: the §4.1 control-node service deployment.
+type (
+	// Service is the control-node HighRPM service shared by compute nodes.
+	Service = cluster.Service
+	// Agent is a compute-node client of the service.
+	Agent = cluster.Agent
+	// Estimate is the service's restored power for one sample.
+	Estimate = cluster.Estimate
+)
+
+// NewService wraps a trained model as a network service.
+func NewService(m *Model) *Service { return cluster.NewService(m) }
+
+// DialService connects a compute-node agent to the service.
+func DialService(addr, nodeID string) (*Agent, error) { return cluster.Dial(addr, nodeID) }
+
+// Attribution types: per-job energy accounting on shared nodes (see
+// examples/accounting).
+type (
+	// JobActivity is one job's per-second counter aggregate.
+	JobActivity = attribution.JobActivity
+	// JobPower is one job's attributed power for a second.
+	JobPower = attribution.JobPower
+	// EnergyLedger accumulates per-job energy over time.
+	EnergyLedger = attribution.Ledger
+	// AttributionConfig sets the idle-power split.
+	AttributionConfig = attribution.Config
+)
+
+// AttributePower splits one second's component power among jobs by counter
+// share (dynamic) and core share (idle).
+func AttributePower(pcpuW, pmemW float64, jobs []JobActivity, cfg AttributionConfig) ([]JobPower, error) {
+	return attribution.Attribute(pcpuW, pmemW, jobs, cfg)
+}
+
+// NewEnergyLedger returns an empty per-job energy ledger.
+func NewEnergyLedger() *EnergyLedger { return attribution.NewLedger() }
+
+// DefaultAttributionConfig matches the simulated ARM node's idle power.
+func DefaultAttributionConfig() AttributionConfig { return attribution.DefaultConfig() }
+
+// Governor types: power-capping control stacks built on HighRPM estimates
+// (the Fig. 1 motivation turned into an application; see examples/powercap).
+type (
+	// GovernorPolicy decides DVFS steps from power estimates.
+	GovernorPolicy = governor.Policy
+	// GovernorSource supplies the governor's per-second power estimate.
+	GovernorSource = governor.Source
+	// GovernorOutcome summarises a governed run.
+	GovernorOutcome = governor.Outcome
+	// HysteresisPolicy is the classic step governor with a hysteresis band.
+	HysteresisPolicy = governor.Hysteresis
+	// PIDPolicy is a cap-constrained PID controller.
+	PIDPolicy = governor.PID
+	// PredictivePolicy preempts cap crossings from the estimate's slope.
+	PredictivePolicy = governor.Predictive
+)
+
+// NewModelSource feeds a governor HighRPM's per-second restored power.
+func NewModelSource(m *Model) GovernorSource { return governor.NewModelSource(m) }
+
+// RunGoverned executes a benchmark under a capping policy and source.
+func RunGoverned(n *Node, b Benchmark, src GovernorSource, pol GovernorPolicy, cfg governor.Config) (GovernorOutcome, error) {
+	return governor.Run(n, b, src, pol, cfg)
+}
+
+// GovernorConfig drives RunGoverned.
+type GovernorConfig = governor.Config
+
+// GPU extension types (§6.4.4): the HighRPM methodology retargeted at an
+// accelerator with its own counters. See examples/gpu.
+type (
+	// GPUDeviceConfig describes a simulated GPU.
+	GPUDeviceConfig = gpuext.DeviceConfig
+	// GPUDevice is a running GPU simulation.
+	GPUDevice = gpuext.Device
+	// GPUKernel is a named GPU workload.
+	GPUKernel = gpuext.Kernel
+	// GPUTrace is a completed GPU run.
+	GPUTrace = gpuext.Trace
+	// GPUTRR restores the temporal resolution of sparse GPU power readings.
+	GPUTRR = gpuext.TRR
+)
+
+// DefaultGPUDevice returns the reference accelerator model.
+func DefaultGPUDevice() GPUDeviceConfig { return gpuext.DefaultDevice() }
+
+// NewGPUDevice creates a GPU simulation.
+func NewGPUDevice(cfg GPUDeviceConfig, seed int64) (*GPUDevice, error) {
+	return gpuext.NewDevice(cfg, seed)
+}
+
+// GPUKernels returns the GPU workload suite.
+func GPUKernels() []GPUKernel { return gpuext.Kernels() }
+
+// FitGPUTRR trains the GPU restoration model on a labeled device trace.
+func FitGPUTRR(train *GPUTrace, missInterval int) (*GPUTRR, error) {
+	return gpuext.FitTRR(train, missInterval)
+}

@@ -1,0 +1,125 @@
+package highrpm_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"highrpm"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly as the README's
+// quickstart does: generate data, train, persist, restore, monitor, serve.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end training; skipped in -short")
+	}
+	gen := highrpm.DefaultGenerateConfig()
+	gen.SamplesPerSuite = 150
+	train := &highrpm.Set{}
+	for _, s := range []string{"HPCC", "SPEC"} {
+		set, err := highrpm.GenerateSuite(gen, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		train.Append(set)
+	}
+
+	opts := highrpm.DefaultOptions()
+	opts.Dynamic.Epochs = 5
+	opts.Dynamic.MaxWindows = 150
+	model, err := highrpm.Train(train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist and reload.
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := highrpm.SaveModel(path, model); err != nil {
+		t.Fatal(err)
+	}
+	model, err = highrpm.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unseen workload.
+	bench, err := highrpm.FindBenchmark("HPCG/hpcg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := highrpm.NewNode(highrpm.ARMPlatform(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := node.RunFor(bench, 100, 1)
+	test := highrpm.FromTrace(trace, "HPCG", bench.Name)
+	idx := test.MeasuredIndices(10)
+
+	for _, mode := range []highrpm.RestoreMode{highrpm.ModeStatic, highrpm.ModeDynamic} {
+		nodeP, pcpu, pmem, err := model.Restore(test, idx, nil, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nodeP) != 100 || len(pcpu) != 100 || len(pmem) != 100 {
+			t.Fatalf("mode %v: restore lengths wrong", mode)
+		}
+		m := highrpm.Evaluate(test.NodePower(), nodeP)
+		if m.MAPE > 25 {
+			t.Fatalf("mode %v: node MAPE %.1f%% implausibly high", mode, m.MAPE)
+		}
+	}
+
+	// Streaming monitor.
+	mon := highrpm.NewMonitor(model)
+	for i, sm := range test.Samples[:20] {
+		var measured *float64
+		if i%10 == 0 {
+			v := sm.PNode
+			measured = &v
+		}
+		est, err := mon.Push(sm.PMC, measured)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(est.PNode) {
+			t.Fatal("NaN estimate")
+		}
+	}
+
+	// Cluster service.
+	svc := highrpm.NewService(model)
+	if err := svc.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	agent, err := highrpm.DialService(svc.Addr(), "it-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	v := test.Samples[0].PNode
+	est, err := agent.Send(0, test.Samples[0].PMC, &v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.FromMeasurement || est.PNode != v {
+		t.Fatal("service mishandled measured sample")
+	}
+}
+
+func TestFacadeCatalogues(t *testing.T) {
+	if got := len(highrpm.Benchmarks()); got != 96 {
+		t.Fatalf("Benchmarks() = %d want 96", got)
+	}
+	if got := len(highrpm.SuiteNames()); got != 7 {
+		t.Fatalf("SuiteNames() = %d want 7", got)
+	}
+	if got := len(highrpm.Combos()); got != 7 {
+		t.Fatalf("Combos() = %d want 7", got)
+	}
+	arm, x86 := highrpm.ARMPlatform(), highrpm.X86Platform()
+	if arm.Arch != "arm64" || x86.Arch != "x86_64" {
+		t.Fatal("platform configs wrong")
+	}
+}

@@ -1,0 +1,169 @@
+package attribution
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"highrpm/internal/platform"
+	"highrpm/internal/pmu"
+	"highrpm/internal/workload"
+)
+
+// SharedNode simulates several jobs space-sharing one node's cores. It
+// composes the single-workload platform model: each job is a workload
+// instance scaled by its core share; the node's component power is the sum
+// of per-job dynamic power plus the shared idle/leakage/wander processes.
+// Ground-truth per-job power is recorded so attribution accuracy can be
+// evaluated.
+type SharedNode struct {
+	cfg  platform.Config
+	rng  *rand.Rand
+	jobs []*sharedJob
+
+	temp  float64
+	ouCPU float64
+	ouMEM float64
+	t     float64
+}
+
+type sharedJob struct {
+	id    string
+	share float64
+	inst  *workload.Instance
+	bench workload.Benchmark
+}
+
+// SharedSample is one second of a co-located run.
+type SharedSample struct {
+	Time float64
+	// Node-level observables (what HighRPM sees).
+	PCPU, PMEM, PNode float64
+	Counters          pmu.Counters
+	// Jobs carries each job's per-second counter aggregates.
+	Jobs []JobActivity
+	// TruthW is the ground-truth per-job total power, aligned with Jobs.
+	TruthW []float64
+}
+
+// NewSharedNode creates a co-location simulation on the given platform.
+func NewSharedNode(cfg platform.Config, seed int64) (*SharedNode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SharedNode{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// AddJob places a benchmark on the node with a fraction of its cores.
+func (n *SharedNode) AddJob(id string, b workload.Benchmark, coreShare float64) error {
+	if coreShare <= 0 || coreShare > 1 {
+		return fmt.Errorf("attribution: job %s core share %.2f out of (0,1]", id, coreShare)
+	}
+	var total float64
+	for _, j := range n.jobs {
+		total += j.share
+	}
+	if total+coreShare > 1+1e-9 {
+		return fmt.Errorf("attribution: core shares would exceed the node (%.2f + %.2f)", total, coreShare)
+	}
+	n.jobs = append(n.jobs, &sharedJob{
+		id: id, share: coreShare, bench: b,
+		inst: workload.NewInstance(b, n.rng.Int63()),
+	})
+	return nil
+}
+
+// Step advances one second, returning node observables and per-job truth.
+func (n *SharedNode) Step() SharedSample {
+	cfg := n.cfg
+	out := SharedSample{Time: n.t}
+	fRel := 1.0 // co-location study runs at the maximum DVFS level
+
+	var dynSum, memSum float64
+	type jd struct {
+		dyn, mem float64
+		act      workload.State
+	}
+	perJob := make([]jd, len(n.jobs))
+	for i, j := range n.jobs {
+		if j.inst.Done() {
+			j.inst = workload.NewInstance(j.bench, n.rng.Int63())
+		}
+		st := j.inst.Advance(1, fRel)
+		activity := 0.7*st.Util + 0.3*st.Util*math.Min(st.IPC, 3.2)/3.2
+		dyn := cfg.CPUDyn * activity * st.CPUPowerScale * j.share
+		mem := cfg.MemDyn * st.Mem * st.MemPowerScale * j.share
+		perJob[i] = jd{dyn: dyn, mem: mem, act: st}
+		dynSum += dyn
+		memSum += mem
+	}
+
+	// Shared node processes (same forms as platform.Node.Step).
+	targetTemp := dynSum * 0.45
+	n.temp += (targetTemp - n.temp) / 25
+	leak := cfg.LeakGain * n.temp
+	wtau := cfg.WanderTau
+	if wtau <= 0 {
+		wtau = 20
+	}
+	n.ouCPU += -n.ouCPU/wtau + cfg.WanderCPU*math.Sqrt(2/wtau)*n.rng.NormFloat64()
+	n.ouMEM += -n.ouMEM/wtau + cfg.WanderMEM*math.Sqrt(2/wtau)*n.rng.NormFloat64()
+
+	out.PCPU = cfg.CPUIdle + dynSum + leak + n.ouCPU + n.rng.NormFloat64()*cfg.CompNoise
+	out.PMEM = cfg.MemIdle + memSum + n.ouMEM + 0.30*n.ouCPU + 0.08*leak + n.rng.NormFloat64()*cfg.CompNoise*0.6
+	out.PNode = out.PCPU + out.PMEM + cfg.Other + n.rng.NormFloat64()*cfg.NodeNoise
+
+	// Per-job counters and ground-truth power. Shared components (idle,
+	// leakage, wander) are attributed the way the Attribute policy defines
+	// truth: idle by core share, shared dynamics by activity share.
+	var totShare float64
+	for _, j := range n.jobs {
+		totShare += j.share
+	}
+	noisy := func(v float64) float64 {
+		v *= 1 + n.rng.NormFloat64()*cfg.PMCNoise
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	freqHz := cfg.MaxFreq() * 1e9
+	for i, j := range n.jobs {
+		st := perJob[i].act
+		cores := float64(cfg.Cores) * j.share
+		cycles := noisy(cores * st.Util * freqHz)
+		memAcc := noisy(st.Mem * 2.5e9 * cores / 64)
+		out.Jobs = append(out.Jobs, JobActivity{
+			JobID: j.id, Cycles: cycles, MemAccesses: memAcc, CoreShare: j.share,
+		})
+		shareFrac := j.share / totShare
+		truth := perJob[i].dyn + perJob[i].mem +
+			(cfg.CPUIdle+leak+n.ouCPU)*shareFrac +
+			(cfg.MemIdle+n.ouMEM+0.30*n.ouCPU+0.08*leak)/float64(len(n.jobs))
+		out.TruthW = append(out.TruthW, truth)
+
+		// Node-level counters accumulate across jobs.
+		inst := cycles * st.IPC
+		out.Counters[pmu.CPUCycles] += cycles
+		out.Counters[pmu.InstRetired] += inst
+		out.Counters[pmu.BrPred] += inst * st.BranchFrac
+		out.Counters[pmu.UopRetired] += inst * 1.35
+		out.Counters[pmu.L1ICacheLD] += inst * 0.92
+		out.Counters[pmu.L1ICacheST] += inst * 0.02
+		out.Counters[pmu.LxDCacheLD] += inst * (0.22 + 0.30*st.Mem)
+		out.Counters[pmu.LxDCacheST] += inst * (0.09 + 0.14*st.Mem)
+		out.Counters[pmu.BusAccess] += st.Mem * 4e9 * cores / 64
+		out.Counters[pmu.MemAccess] += memAcc
+	}
+	n.t++
+	return out
+}
+
+// Run simulates dur seconds.
+func (n *SharedNode) Run(dur int) []SharedSample {
+	out := make([]SharedSample, dur)
+	for i := range out {
+		out[i] = n.Step()
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"highrpm/internal/core"
+)
+
+// Agent is a compute-node client of the HighRPM service. It is not safe
+// for concurrent use; run one agent per node goroutine.
+type Agent struct {
+	nodeID string
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+}
+
+// Dial connects an agent to the service and registers the node.
+func Dial(addr, nodeID string) (*Agent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	a := &Agent{nodeID: nodeID, conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	if err := WriteMsg(a.w, KindHello, Hello{NodeID: nodeID}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := a.w.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	env, err := ReadMsg(a.r)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: hello reply: %w", err)
+	}
+	if env.Kind != KindHello {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: unexpected hello reply kind %q", env.Kind)
+	}
+	return a, nil
+}
+
+// NodeID returns the registered node identity.
+func (a *Agent) NodeID() string { return a.nodeID }
+
+// Send streams one second of telemetry and returns the service's estimate.
+// measured carries this second's IPMI reading if one arrived (nil usually).
+func (a *Agent) Send(t float64, pmc []float64, measured *float64) (Estimate, error) {
+	smp := Sample{NodeID: a.nodeID, Time: t, PMC: pmc, Measured: measured}
+	if err := WriteMsg(a.w, KindSample, smp); err != nil {
+		return Estimate{}, err
+	}
+	if err := a.w.Flush(); err != nil {
+		return Estimate{}, err
+	}
+	env, err := ReadMsg(a.r)
+	if err != nil {
+		return Estimate{}, err
+	}
+	switch env.Kind {
+	case KindEstimate:
+		var est Estimate
+		if err := DecodeBody(env, &est); err != nil {
+			return Estimate{}, err
+		}
+		return est, nil
+	case KindError:
+		var eb ErrorBody
+		if err := DecodeBody(env, &eb); err != nil {
+			return Estimate{}, err
+		}
+		return Estimate{}, fmt.Errorf("cluster: service error: %s", eb.Message)
+	default:
+		return Estimate{}, fmt.Errorf("cluster: unexpected reply kind %q", env.Kind)
+	}
+}
+
+// Stats fetches service statistics.
+func (a *Agent) Stats() (Stats, error) {
+	if err := WriteMsg(a.w, KindStats, struct{}{}); err != nil {
+		return Stats{}, err
+	}
+	if err := a.w.Flush(); err != nil {
+		return Stats{}, err
+	}
+	env, err := ReadMsg(a.r)
+	if err != nil {
+		return Stats{}, err
+	}
+	if env.Kind != KindStats {
+		return Stats{}, fmt.Errorf("cluster: unexpected stats reply kind %q", env.Kind)
+	}
+	var st Stats
+	if err := DecodeBody(env, &st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// FetchModel downloads the service's trained model for local inference —
+// the fallback path when the control node is unreachable between samples.
+func (a *Agent) FetchModel() (*core.HighRPM, error) {
+	if err := WriteMsg(a.w, KindModel, struct{}{}); err != nil {
+		return nil, err
+	}
+	if err := a.w.Flush(); err != nil {
+		return nil, err
+	}
+	env, err := ReadMsg(a.r)
+	if err != nil {
+		return nil, err
+	}
+	switch env.Kind {
+	case KindModel:
+		var mb ModelBody
+		if err := DecodeBody(env, &mb); err != nil {
+			return nil, err
+		}
+		return core.Unmarshal(mb.Data)
+	case KindError:
+		var eb ErrorBody
+		if err := DecodeBody(env, &eb); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("cluster: service error: %s", eb.Message)
+	default:
+		return nil, fmt.Errorf("cluster: unexpected reply kind %q", env.Kind)
+	}
+}
+
+// Close terminates the connection.
+func (a *Agent) Close() error { return a.conn.Close() }

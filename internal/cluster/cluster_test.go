@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"net"
+	"sync"
+	"testing"
+
+	"highrpm/internal/core"
+	"highrpm/internal/dataset"
+	"highrpm/internal/platform"
+	"highrpm/internal/workload"
+)
+
+// trainedModel builds one compact model shared by the tests in this file.
+var (
+	modelOnce sync.Once
+	testModel *core.HighRPM
+	modelErr  error
+)
+
+func sharedModel(t *testing.T) *core.HighRPM {
+	t.Helper()
+	modelOnce.Do(func() {
+		cfg := dataset.DefaultGenerateConfig()
+		cfg.SamplesPerSuite = 150
+		train := &dataset.Set{}
+		for _, s := range []string{workload.SuiteHPCC, workload.SuiteSPEC} {
+			set, err := dataset.GenerateSuite(cfg, s)
+			if err != nil {
+				modelErr = err
+				return
+			}
+			train.Append(set)
+		}
+		opts := core.DefaultOptions()
+		opts.ActiveLearning = false
+		opts.Dynamic.Epochs = 4
+		opts.Dynamic.MaxWindows = 120
+		testModel, modelErr = core.Train(train, opts)
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return testModel
+}
+
+func startService(t *testing.T) *Service {
+	t.Helper()
+	svc := NewService(sharedModel(t))
+	svc.Logf = t.Logf
+	if err := svc.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+func TestServiceAgentRoundTrip(t *testing.T) {
+	svc := startService(t)
+	agent, err := Dial(svc.Addr(), "node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	node, err := platform.NewNode(platform.ARMConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.Find("HPCC/FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Attach(b)
+	var measuredSeen bool
+	for i := 0; i < 30; i++ {
+		s := node.Step(1)
+		var measured *float64
+		if i%10 == 0 {
+			v := s.PNode
+			measured = &v
+		}
+		est, err := agent.Send(s.Time, s.Counters.Slice(), measured)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.NodeID != "node-a" {
+			t.Fatalf("estimate for %q", est.NodeID)
+		}
+		if measured != nil {
+			if !est.FromMeasurement || est.PNode != *measured {
+				t.Fatal("measured reading not honoured")
+			}
+			measuredSeen = true
+		}
+		if math.IsNaN(est.PCPU) || math.IsNaN(est.PMEM) {
+			t.Fatal("NaN component estimate")
+		}
+	}
+	if !measuredSeen {
+		t.Fatal("no measured reading exercised")
+	}
+	st, err := agent.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes != 1 || st.Samples != 30 || st.Measured != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServiceIsolatesNodes(t *testing.T) {
+	svc := startService(t)
+	a, err := Dial(svc.Addr(), "node-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(svc.Addr(), "node-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Feed node-1 high power and node-2 low power; monitors must not mix.
+	pmcHigh := make([]float64, 10)
+	pmcLow := make([]float64, 10)
+	for i := range pmcHigh {
+		pmcHigh[i] = 1e10
+		pmcLow[i] = 1e7
+	}
+	high, low := 110.0, 50.0
+	if _, err := a.Send(0, pmcHigh, &high); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Send(0, pmcLow, &low); err != nil {
+		t.Fatal(err)
+	}
+	ea, err := a.Send(1, pmcHigh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.Send(1, pmcLow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea.PNode <= eb.PNode {
+		t.Fatalf("per-node history mixed: %g vs %g", ea.PNode, eb.PNode)
+	}
+	st := svc.Stats()
+	if st.Nodes != 2 {
+		t.Fatalf("stats nodes = %d", st.Nodes)
+	}
+}
+
+func TestServiceRejectsBadSample(t *testing.T) {
+	svc := startService(t)
+	agent, err := Dial(svc.Addr(), "node-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	if _, err := agent.Send(0, []float64{1, 2}, nil); err == nil {
+		t.Fatal("expected service error for wrong feature width")
+	}
+	// The connection must survive the error.
+	pmc := make([]float64, 10)
+	v := 80.0
+	if _, err := agent.Send(1, pmc, &v); err != nil {
+		t.Fatalf("connection dead after service error: %v", err)
+	}
+}
+
+func TestServiceUnknownKind(t *testing.T) {
+	svc := startService(t)
+	conn, err := net.Dial("tcp", svc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	if err := WriteMsg(w, MsgKind("bogus"), struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	env, err := ReadMsg(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != KindError {
+		t.Fatalf("reply kind %q want error", env.Kind)
+	}
+}
+
+func TestProtocolFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := Sample{NodeID: "n", Time: 3, PMC: []float64{1, 2, 3}}
+	if err := WriteMsg(&buf, KindSample, want); err != nil {
+		t.Fatal(err)
+	}
+	env, err := ReadMsg(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sample
+	if err := DecodeBody(env, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeID != want.NodeID || got.Time != want.Time || len(got.PMC) != 3 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestProtocolOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GiB frame length
+	if _, err := ReadMsg(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("expected frame-size error")
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", "x"); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestAgentFetchModel(t *testing.T) {
+	svc := startService(t)
+	agent, err := Dial(svc.Addr(), "fetcher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	local, err := agent.FetchModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The downloaded model must predict identically to the service's.
+	pmc := make([]float64, 10)
+	for i := range pmc {
+		pmc[i] = 1e9
+	}
+	a, am := sharedModel(t).SRR.Predict(pmc, 90)
+	b, bm := local.SRR.Predict(pmc, 90)
+	if a != b || am != bm {
+		t.Fatalf("local model diverges: (%g,%g) vs (%g,%g)", a, am, b, bm)
+	}
+	// The connection stays usable for normal samples afterwards.
+	v := 85.0
+	if _, err := agent.Send(0, pmc, &v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package cluster implements the deployment story of §4.1: HighRPM runs as
+// a service on the control node of an HPC system and is shared with the
+// compute nodes. Compute-node agents stream PMC samples and sparse IPMI
+// readings to the service; the service answers with restored node power and
+// the CPU/memory breakdown.
+//
+// The wire protocol is length-prefixed JSON over TCP — stdlib-only, easy to
+// debug, and fast enough for 1 Sa/s telemetry from hundreds of nodes.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MsgKind discriminates protocol messages.
+type MsgKind string
+
+// Protocol message kinds.
+const (
+	// KindHello registers an agent with the service.
+	KindHello MsgKind = "hello"
+	// KindSample carries one second of telemetry from an agent.
+	KindSample MsgKind = "sample"
+	// KindEstimate is the service's restored power for one sample.
+	KindEstimate MsgKind = "estimate"
+	// KindStats requests / carries service statistics.
+	KindStats MsgKind = "stats"
+	// KindModel requests / carries the service's trained model so agents
+	// can fall back to local inference when the control node is far away
+	// or the network is congested (§6.4.6's failure scenario).
+	KindModel MsgKind = "model"
+	// KindError reports a server-side failure for a request.
+	KindError MsgKind = "error"
+)
+
+// Envelope frames every message.
+type Envelope struct {
+	Kind MsgKind         `json:"kind"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Hello registers a compute node.
+type Hello struct {
+	NodeID string `json:"node_id"`
+}
+
+// Sample is one second of telemetry from a compute node agent.
+type Sample struct {
+	NodeID string    `json:"node_id"`
+	Time   float64   `json:"time"`
+	PMC    []float64 `json:"pmc"`
+	// Measured carries the IPMI reading when one is available this second;
+	// nil otherwise (the common case — that is the whole problem).
+	Measured *float64 `json:"measured,omitempty"`
+}
+
+// Estimate is the service's answer for one sample.
+type Estimate struct {
+	NodeID string  `json:"node_id"`
+	Time   float64 `json:"time"`
+	PNode  float64 `json:"p_node"`
+	PCPU   float64 `json:"p_cpu"`
+	PMEM   float64 `json:"p_mem"`
+	// FromMeasurement reports whether PNode is an IM reading (true) or a
+	// DynamicTRR prediction (false).
+	FromMeasurement bool `json:"from_measurement"`
+}
+
+// Stats summarises service activity.
+type Stats struct {
+	Nodes     int   `json:"nodes"`
+	Samples   int64 `json:"samples"`
+	Estimates int64 `json:"estimates"`
+	Measured  int64 `json:"measured"`
+}
+
+// ErrorBody carries a server-side error message.
+type ErrorBody struct {
+	Message string `json:"message"`
+}
+
+// ModelBody carries a serialised model (core.Marshal output).
+type ModelBody struct {
+	Data []byte `json:"data"`
+}
+
+// maxFrame bounds a frame to keep a misbehaving peer from ballooning
+// memory; 8 MiB accommodates model transfers with ample headroom while
+// still rejecting length-prefix garbage.
+const maxFrame = 8 << 20
+
+// WriteMsg frames and writes one message.
+func WriteMsg(w io.Writer, kind MsgKind, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal %s: %w", kind, err)
+	}
+	env, err := json.Marshal(Envelope{Kind: kind, Body: raw})
+	if err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(env)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(env)
+	return err
+}
+
+// ReadMsg reads one framed message.
+func ReadMsg(r *bufio.Reader) (Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return Envelope{}, fmt.Errorf("cluster: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Envelope{}, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return Envelope{}, fmt.Errorf("cluster: bad envelope: %w", err)
+	}
+	return env, nil
+}
+
+// DecodeBody unmarshals an envelope body into dst.
+func DecodeBody(env Envelope, dst any) error {
+	if err := json.Unmarshal(env.Body, dst); err != nil {
+		return fmt.Errorf("cluster: bad %s body: %w", env.Kind, err)
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"highrpm/internal/core"
+)
+
+// Service is the control-node HighRPM service. One trained model is shared
+// by every compute node; each node gets its own streaming Monitor so power
+// histories never mix.
+type Service struct {
+	model *core.HighRPM
+
+	ln     net.Listener
+	mu     sync.Mutex
+	mons   map[string]*core.Monitor
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	samples   atomic.Int64
+	estimates atomic.Int64
+	measured  atomic.Int64
+
+	// Logf sinks service logs (defaults to log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// NewService wraps a trained model.
+func NewService(model *core.HighRPM) *Service {
+	return &Service{
+		model: model,
+		mons:  map[string]*core.Monitor{},
+		conns: map[net.Conn]struct{}{},
+		Logf:  log.Printf,
+	}
+}
+
+// Listen starts accepting agents on addr ("host:port"; ":0" picks a free
+// port). It returns immediately; Addr reports the bound address.
+func (s *Service) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (s *Service) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener, terminates open agent connections, and waits
+// for the handlers to finish.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// track registers a live connection; it reports false when the service is
+// already closing and the connection should be dropped immediately.
+func (s *Service) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Service) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Service) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				s.Logf("cluster: accept: %v", err)
+			}
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.Logf("cluster: connection %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// monitorFor returns the per-node monitor, creating it on first use.
+func (s *Service) monitorFor(nodeID string) *core.Monitor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.mons[nodeID]
+	if !ok {
+		m = core.NewMonitor(s.model)
+		s.mons[nodeID] = m
+	}
+	return m
+}
+
+func (s *Service) handle(conn net.Conn) error {
+	defer conn.Close()
+	if !s.track(conn) {
+		return nil
+	}
+	defer s.untrack(conn)
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		env, err := ReadMsg(r)
+		if err != nil {
+			return err
+		}
+		switch env.Kind {
+		case KindHello:
+			var h Hello
+			if err := DecodeBody(env, &h); err != nil {
+				return err
+			}
+			s.monitorFor(h.NodeID)
+			if err := WriteMsg(w, KindHello, h); err != nil {
+				return err
+			}
+		case KindSample:
+			var smp Sample
+			if err := DecodeBody(env, &smp); err != nil {
+				return err
+			}
+			s.samples.Add(1)
+			if smp.Measured != nil {
+				s.measured.Add(1)
+			}
+			mon := s.monitorFor(smp.NodeID)
+			est, err := mon.Push(smp.PMC, smp.Measured)
+			if err != nil {
+				if werr := WriteMsg(w, KindError, ErrorBody{Message: err.Error()}); werr != nil {
+					return werr
+				}
+				break
+			}
+			s.estimates.Add(1)
+			out := Estimate{
+				NodeID: smp.NodeID, Time: smp.Time,
+				PNode: est.PNode, PCPU: est.PCPU, PMEM: est.PMEM,
+				FromMeasurement: est.FromMeasurement,
+			}
+			if err := WriteMsg(w, KindEstimate, out); err != nil {
+				return err
+			}
+		case KindStats:
+			if err := WriteMsg(w, KindStats, s.Stats()); err != nil {
+				return err
+			}
+		case KindModel:
+			data, err := core.Marshal(s.model)
+			if err != nil {
+				if werr := WriteMsg(w, KindError, ErrorBody{Message: err.Error()}); werr != nil {
+					return werr
+				}
+				break
+			}
+			if err := WriteMsg(w, KindModel, ModelBody{Data: data}); err != nil {
+				return err
+			}
+		default:
+			if err := WriteMsg(w, KindError, ErrorBody{Message: fmt.Sprintf("unknown kind %q", env.Kind)}); err != nil {
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// Stats snapshots service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	nodes := len(s.mons)
+	s.mu.Unlock()
+	return Stats{
+		Nodes:     nodes,
+		Samples:   s.samples.Load(),
+		Estimates: s.estimates.Load(),
+		Measured:  s.measured.Load(),
+	}
+}

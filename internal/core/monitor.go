@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"highrpm/internal/pmu"
+)
+
+// Monitor is the streaming form of HighRPM used by the cluster service and
+// the live monitoring tools: samples arrive one second at a time, IM
+// readings arrive every miss_interval seconds, and each Push returns the
+// restored node power plus the CPU/memory breakdown for that second.
+//
+// The previous-node feature fed to the DynamicTRR network is the same
+// trend value DynamicTRR.Run uses online: the last IM reading extrapolated
+// with the slope of the last two readings (§4.2.2 allows "the observed
+// value or the spline model"); recursive feedback of the network's own
+// outputs would compound drift across the gap.
+type Monitor struct {
+	h    *HighRPM
+	miss int
+
+	hist []monitorStep // trailing window, most recent last
+	n    int64         // samples seen
+
+	lastIdx  int64   // sample index of the last IM reading (-1: none yet)
+	lastVal  float64 // its value
+	slope    float64 // watts per step from the last two readings
+	haveMeas bool
+}
+
+type monitorStep struct {
+	pmc  []float64
+	prev float64 // the previous-node feature used at this step
+}
+
+// NewMonitor wraps a trained HighRPM model for streaming use.
+func NewMonitor(h *HighRPM) *Monitor {
+	return &Monitor{h: h, miss: h.Opts.Dynamic.MissInterval, lastIdx: -1}
+}
+
+// MonitorEstimate is one second's restored power.
+type MonitorEstimate struct {
+	PNode float64
+	PCPU  float64
+	PMEM  float64
+	// FromMeasurement reports whether PNode came from an IM reading rather
+	// than the DynamicTRR prediction.
+	FromMeasurement bool
+}
+
+// trendAt extrapolates the node power at sample index i from the readings
+// seen so far.
+func (m *Monitor) trendAt(i int64) float64 {
+	if !m.haveMeas {
+		// Cold start: the training power band's midpoint.
+		return 0.5 * (m.h.Static.PBottom + m.h.Static.PUpper)
+	}
+	return m.lastVal + m.slope*float64(i-m.lastIdx)
+}
+
+// Push processes one second of telemetry. measured carries the IM reading
+// when one arrived this second (nil otherwise). pmc must hold the Table 2
+// events in feature order.
+func (m *Monitor) Push(pmc []float64, measured *float64) (MonitorEstimate, error) {
+	if len(pmc) != pmu.NumEvents {
+		return MonitorEstimate{}, fmt.Errorf("core: monitor expects %d PMC features, got %d", pmu.NumEvents, len(pmc))
+	}
+	var est MonitorEstimate
+	prevFeature := m.trendAt(m.n - 1)
+	switch {
+	case measured != nil:
+		est.PNode = *measured
+		est.FromMeasurement = true
+		if m.haveMeas && m.n > m.lastIdx {
+			m.slope = (*measured - m.lastVal) / float64(m.n-m.lastIdx)
+		}
+		m.lastIdx, m.lastVal, m.haveMeas = m.n, *measured, true
+	case !m.haveMeas:
+		// Nothing to predict from before the first IM reading.
+		est.PNode = m.trendAt(m.n)
+	default:
+		window := m.window(pmc, prevFeature)
+		preds := m.h.Dynamic.Net.PredictSeq(window)
+		est.PNode = preds[len(preds)-1]
+	}
+	est.PCPU, est.PMEM = m.h.SRR.Predict(pmc, est.PNode)
+	m.hist = append(m.hist, monitorStep{pmc: append([]float64(nil), pmc...), prev: prevFeature})
+	if len(m.hist) > m.miss {
+		m.hist = m.hist[1:]
+	}
+	m.n++
+	return est, nil
+}
+
+// window assembles the DynamicTRR input ending at the incoming sample.
+func (m *Monitor) window(pmc []float64, prevFeature float64) [][]float64 {
+	steps := append(append([]monitorStep(nil), m.hist...), monitorStep{pmc: pmc, prev: prevFeature})
+	// Front-pad to the window length with the oldest step.
+	for len(steps) < m.miss {
+		steps = append([]monitorStep{steps[0]}, steps...)
+	}
+	steps = steps[len(steps)-m.miss:]
+	out := make([][]float64, len(steps))
+	for i, st := range steps {
+		f := make([]float64, pmu.NumEvents+1)
+		copy(f, st.pmc)
+		f[pmu.NumEvents] = st.prev
+		out[i] = f
+	}
+	return out
+}
+
+// Samples returns how many seconds of telemetry the monitor has processed.
+func (m *Monitor) Samples() int64 { return m.n }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func trainedModel(t *testing.T) *HighRPM {
+	t.Helper()
+	train := trainSet(t, 150)
+	opts := DefaultOptions()
+	opts.Dynamic.Epochs = 6
+	opts.Dynamic.MaxWindows = 200
+	opts.ActiveLearning = false
+	h, err := Train(train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMonitorStreaming(t *testing.T) {
+	h := trainedModel(t)
+	mon := NewMonitor(h)
+	test := testSet(t, 80)
+
+	var absErr float64
+	for i, sm := range test.Samples {
+		var measured *float64
+		if i%10 == 0 {
+			v := sm.PNode
+			measured = &v
+		}
+		est, err := mon.Push(sm.PMC, measured)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if measured != nil {
+			if !est.FromMeasurement || est.PNode != *measured {
+				t.Fatalf("step %d: measurement not passed through", i)
+			}
+		} else if est.FromMeasurement {
+			t.Fatalf("step %d: claims measurement without one", i)
+		}
+		if est.PCPU <= 0 || est.PMEM <= 0 || math.IsNaN(est.PNode) {
+			t.Fatalf("step %d: implausible estimate %+v", i, est)
+		}
+		absErr += math.Abs(est.PNode - sm.PNode)
+	}
+	if mon.Samples() != int64(test.Len()) {
+		t.Fatalf("Samples = %d want %d", mon.Samples(), test.Len())
+	}
+	mean := absErr / float64(test.Len())
+	if mean > 15 {
+		t.Fatalf("streaming mean abs error %.1f W too high", mean)
+	}
+}
+
+func TestMonitorRejectsBadFeatureWidth(t *testing.T) {
+	h := trainedModel(t)
+	mon := NewMonitor(h)
+	if _, err := mon.Push([]float64{1, 2}, nil); err == nil {
+		t.Fatal("expected feature-width error")
+	}
+}
+
+func TestMonitorFirstSampleWithoutMeasurement(t *testing.T) {
+	h := trainedModel(t)
+	mon := NewMonitor(h)
+	test := testSet(t, 5)
+	est, err := mon.Push(test.Samples[0].PMC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neutral estimate: midpoint of the training power band.
+	want := 0.5 * (h.Static.PBottom + h.Static.PUpper)
+	if est.PNode != want {
+		t.Fatalf("cold-start estimate %g want %g", est.PNode, want)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestFrameworkPersistenceRoundTrip(t *testing.T) {
+	train := trainSet(t, 150)
+	opts := DefaultOptions()
+	opts.Dynamic.Epochs = 4
+	opts.Dynamic.MaxWindows = 150
+	h, err := Train(train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := Save(path, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	test := testSet(t, 100)
+	idx := test.MeasuredIndices(10)
+	// StaticTRR restorations must match exactly.
+	a, err := h.Static.Restore(test, idx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Static.Restore(test, idx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("StaticTRR diverged at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+	// DynamicTRR predictions (without online fine-tuning, which mutates
+	// the nets differently once they diverge) must match.
+	h.Dynamic.Opts.FineTuneOnline = false
+	back.Dynamic.Opts.FineTuneOnline = false
+	da, err := h.Dynamic.Run(test, idx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := back.Dynamic.Run(test, idx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range da {
+		if math.Abs(da[i]-db[i]) > 1e-9 {
+			t.Fatalf("DynamicTRR diverged at %d: %g vs %g", i, da[i], db[i])
+		}
+	}
+	// SRR predictions must match.
+	ca, ma := h.SRR.PredictSet(test, nil)
+	cb, mb := back.SRR.PredictSet(test, nil)
+	for i := range ca {
+		if math.Abs(ca[i]-cb[i]) > 1e-9 || math.Abs(ma[i]-mb[i]) > 1e-9 {
+			t.Fatalf("SRR diverged at %d", i)
+		}
+	}
+}
+
+func TestMarshalIncompleteFramework(t *testing.T) {
+	if _, err := Marshal(&HighRPM{}); err == nil {
+		t.Fatal("expected error for untrained framework")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("nope")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,191 @@
+// Package core implements the paper's contribution: the HighRPM framework
+// combining integrated measurement with software power modeling. It
+// contains the two Temporal Resolution Restoration models — StaticTRR
+// (spline + PMC residual model, §4.2.1) and DynamicTRR (windowed LSTM,
+// §4.2.2) — the Spatial Resolution Restoration model (SRR, §4.3), and the
+// two-stage initial/active learning pipeline of §4.1.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"highrpm/internal/dataset"
+	"highrpm/internal/interp"
+	"highrpm/internal/model"
+	"highrpm/internal/stats"
+	"highrpm/internal/tree"
+)
+
+// StaticTRROptions configures StaticTRR training.
+type StaticTRROptions struct {
+	// MissInterval is the number of 1 Sa/s steps between IM readings
+	// (paper default 10 ⇒ 0.1 Sa/s restored to 1 Sa/s).
+	MissInterval int
+	// Alpha and Beta are the Algorithm 1 agreement thresholds. The paper
+	// leaves the constants unspecified; defaults 0.05 and 0.20 were chosen
+	// by the hyperparameter sweep in internal/experiments.
+	Alpha, Beta float64
+	// Seed drives the ResModel's internal randomness.
+	Seed int64
+}
+
+// DefaultStaticTRROptions returns the §6.1 configuration.
+func DefaultStaticTRROptions() StaticTRROptions {
+	return StaticTRROptions{MissInterval: 10, Alpha: 0.05, Beta: 0.20, Seed: 11}
+}
+
+func (o *StaticTRROptions) fill() {
+	if o.MissInterval < 2 {
+		o.MissInterval = 10
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 0.05
+	}
+	if o.Beta <= o.Alpha {
+		o.Beta = o.Alpha * 4
+	}
+}
+
+// StaticTRR restores the temporal resolution of historical power logs. The
+// spline component captures the long-term trend through the sparse IM
+// readings; the ResModel — a decision tree over PMCs, which the paper found
+// to work best among Table 4's methods — captures short-term deviations
+// from that trend. Algorithm 1 reconciles the two estimates.
+type StaticTRR struct {
+	Opts StaticTRROptions
+	// Res predicts the signed deviation P_Node − P_splined from PMCs. The
+	// paper's prose targets ABS(P_splined−P_Node); the signed variant is
+	// required for Algorithm 1's P_residual to be a power estimate, so we
+	// model the signed residual (documented in DESIGN.md).
+	Res model.Regressor
+	// PUpper and PBottom are the node power limits observed in training,
+	// used by Algorithm 1's plausibility clamps.
+	PUpper, PBottom float64
+}
+
+// FitStaticTRR trains the ResModel on a labeled set (the initial samples of
+// §4.1, where the direct probe provides 1 Sa/s node power). Following
+// §4.2.1, the spline is built from the set's own IM-visible readings and
+// 50% of the labeled samples train the residual tree.
+func FitStaticTRR(train *dataset.Set, opts StaticTRROptions) (*StaticTRR, error) {
+	opts.fill()
+	if train.Len() < 2*opts.MissInterval {
+		return nil, fmt.Errorf("core: StaticTRR needs at least %d samples, got %d", 2*opts.MissInterval, train.Len())
+	}
+	splined, err := splineEstimate(train, train.MeasuredIndices(opts.MissInterval), nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: StaticTRR spline: %w", err)
+	}
+	// Residual targets on 50% of the labeled samples ("we select 50% of
+	// them as the training set"). Even-index sampling spreads the half
+	// across every program in the concatenated set — a contiguous half
+	// would omit whole suites from the ResModel's training distribution.
+	idxs := make([]int, 0, train.Len()/2)
+	for i := 0; i < train.Len(); i += 2 {
+		idxs = append(idxs, i)
+	}
+	x := train.PMCMatrix()
+	xTrain, _ := model.Subset(x, nil, idxs)
+	resid := make([]float64, len(idxs))
+	for k, i := range idxs {
+		resid[k] = train.Samples[i].PNode - splined[i]
+	}
+	dt := tree.NewRegressor()
+	dt.Seed = opts.Seed
+	dt.MaxDepth = 16
+	dt.MinSamplesLeaf = 3
+	res := &model.ScaledRegressor{Inner: dt}
+	if err := res.Fit(xTrain, resid); err != nil {
+		return nil, fmt.Errorf("core: StaticTRR ResModel: %w", err)
+	}
+	node := train.NodePower()
+	s := &StaticTRR{Opts: opts, Res: res}
+	s.PBottom, s.PUpper = minMax(node)
+	return s, nil
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// splineEstimate fits a cubic spline through the measured readings of the
+// set and samples it at every step. vals overrides the node power at the
+// measured indices (IM readings); nil uses ground truth.
+func splineEstimate(s *dataset.Set, measuredIdx []int, vals []float64) ([]float64, error) {
+	if len(measuredIdx) < 2 {
+		return nil, interp.ErrTooFewPoints
+	}
+	times := s.Times()
+	xs := make([]float64, len(measuredIdx))
+	ys := make([]float64, len(measuredIdx))
+	for k, i := range measuredIdx {
+		xs[k] = times[i]
+		if vals != nil {
+			ys[k] = vals[k]
+		} else {
+			ys[k] = s.Samples[i].PNode
+		}
+	}
+	sp, err := interp.NewCubicSpline(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Sample(times), nil
+}
+
+// SplineOnly returns the bare spline estimate for the set given its IM
+// readings; Table 6 and Fig. 7 compare against this.
+func SplineOnly(s *dataset.Set, measuredIdx []int, vals []float64) ([]float64, error) {
+	return splineEstimate(s, measuredIdx, vals)
+}
+
+// Restore estimates the full 1 Sa/s node power series of a set from its IM
+// readings: measuredIdx are the sample indices with readings and vals the
+// reading values (nil uses ground truth at those indices, i.e. a perfect
+// sensor).
+func (s *StaticTRR) Restore(set *dataset.Set, measuredIdx []int, vals []float64) ([]float64, error) {
+	splined, err := splineEstimate(set, measuredIdx, vals)
+	if err != nil {
+		return nil, err
+	}
+	residual := make([]float64, set.Len())
+	for i := range residual {
+		residual[i] = splined[i] + s.Res.Predict(set.Samples[i].PMC)
+	}
+	out := PostProcess(splined, residual, PostProcessConfig{
+		PUpper:       s.PUpper,
+		PBottom:      s.PBottom,
+		Alpha:        s.Opts.Alpha,
+		Beta:         s.Opts.Beta,
+		MissInterval: s.Opts.MissInterval,
+	})
+	// Measured points are authoritative.
+	for k, i := range measuredIdx {
+		if vals != nil {
+			out[i] = vals[k]
+		} else {
+			out[i] = set.Samples[i].PNode
+		}
+	}
+	return out, nil
+}
+
+// Evaluate restores the set and scores it against ground truth.
+func (s *StaticTRR) Evaluate(set *dataset.Set) (stats.Metrics, error) {
+	idx := set.MeasuredIndices(s.Opts.MissInterval)
+	est, err := s.Restore(set, idx, nil)
+	if err != nil {
+		return stats.Metrics{}, err
+	}
+	return stats.Evaluate(set.NodePower(), est), nil
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"highrpm/internal/core"
+	"highrpm/internal/dataset"
+	"highrpm/internal/interp"
+	"highrpm/internal/neural"
+	"highrpm/internal/stats"
+)
+
+// AblationResult holds the design-choice ablations DESIGN.md calls out.
+// They are not paper artifacts; they justify HighRPM's structure on this
+// reproduction:
+//
+//   - StaticTRR without Algorithm 1 (raw spline+residual sum),
+//   - DynamicTRR without the P'_Node input feature (PMC-only LSTM windows),
+//   - the framework without the active-learning stage,
+//   - pure AR extrapolation in place of the TRR models.
+type AblationResult struct {
+	StaticFull      stats.Metrics // spline + ResModel + Algorithm 1
+	StaticNoPost    stats.Metrics // spline + ResModel, no post-processing
+	DynamicFull     stats.Metrics // windows carry P'_Node
+	DynamicNoPNode  stats.Metrics // PMC-only windows
+	WithActive      stats.Metrics // SRR P_CPU with active learning
+	WithoutActive   stats.Metrics // SRR P_CPU without active learning
+	ARExtrapolation stats.Metrics // AR(5) forecasting between readings
+}
+
+// RunAblations evaluates the ablations on the first unseen split.
+func RunAblations(ws *Workspace) (*AblationResult, error) {
+	cfg := ws.Config()
+	sp, err := ws.Split(cfg.combos()[0], false)
+	if err != nil {
+		return nil, err
+	}
+	truth := sp.Test.NodePower()
+	idx := sp.Test.MeasuredIndices(cfg.MissInterval)
+	out := &AblationResult{}
+
+	// StaticTRR with and without Algorithm 1.
+	st, err := core.FitStaticTRR(sp.Train, cfg.coreOptions().Static)
+	if err != nil {
+		return nil, err
+	}
+	full, err := st.Restore(sp.Test, idx, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.StaticFull = stats.Evaluate(truth, full)
+	spl, err := core.SplineOnly(sp.Test, idx, nil)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]float64, len(spl))
+	for i := range raw {
+		raw[i] = spl[i] + st.Res.Predict(sp.Test.Samples[i].PMC)
+	}
+	out.StaticNoPost = stats.Evaluate(truth, raw)
+
+	// DynamicTRR with and without the P'_Node feature.
+	dyn, err := core.FitDynamicTRR(sp.Train, cfg.coreOptions().Dynamic)
+	if err != nil {
+		return nil, err
+	}
+	est, err := dyn.Run(sp.Test, idx, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.DynamicFull = stats.Evaluate(truth, est)
+	out.DynamicNoPNode, err = dynamicWithoutPNode(cfg, sp)
+	if err != nil {
+		return nil, err
+	}
+
+	// Active learning on/off: compare SRR P_CPU with the restored node
+	// feature, the path active learning specifically tunes.
+	out.WithActive, out.WithoutActive, err = activeLearningAblation(cfg, sp)
+	if err != nil {
+		return nil, err
+	}
+
+	// AR extrapolation between measurements.
+	out.ARExtrapolation = arBetweenReadings(sp, idx, cfg.MissInterval)
+	return out, nil
+}
+
+// dynamicWithoutPNode trains the same LSTM on PMC-only windows.
+func dynamicWithoutPNode(cfg Config, sp *dataset.Split) (stats.Metrics, error) {
+	miss := cfg.MissInterval
+	wins := pmcWindows(sp.Train, targetNode, miss)
+	wins = dataset.SubsampleWindows(wins, cfg.RNNMaxWindows)
+	seqs, targets := dataset.WindowsToSeqs(wins)
+	net := neural.NewLSTM(16, 2, cfg.Seed+5)
+	net.Epochs = cfg.RNNEpochs
+	if err := net.FitSeq(seqs, targets); err != nil {
+		return stats.Metrics{}, err
+	}
+	truth := sp.Test.NodePower()
+	pred := make([]float64, sp.Test.Len())
+	for i := range pred {
+		out := net.PredictSeq(pmcWindowAt(sp.Test, i, miss))
+		pred[i] = out[len(out)-1]
+	}
+	// Measured points would be available in deployment either way.
+	for _, i := range sp.Test.MeasuredIndices(miss) {
+		pred[i] = truth[i]
+	}
+	return stats.Evaluate(truth, pred), nil
+}
+
+// activeLearningAblation trains the full framework twice.
+func activeLearningAblation(cfg Config, sp *dataset.Split) (with, without stats.Metrics, err error) {
+	idx := sp.Test.MeasuredIndices(cfg.MissInterval)
+	for _, active := range []bool{true, false} {
+		opts := cfg.coreOptions()
+		opts.ActiveLearning = active
+		h, terr := core.Train(sp.Train, opts)
+		if terr != nil {
+			return with, without, terr
+		}
+		restored, rerr := h.Static.Restore(sp.Test, idx, nil)
+		if rerr != nil {
+			return with, without, rerr
+		}
+		cpuM, _ := h.SRR.Evaluate(sp.Test, restored)
+		if active {
+			with = cpuM
+		} else {
+			without = cpuM
+		}
+	}
+	return with, without, nil
+}
+
+// arBetweenReadings forecasts each gap with an AR(5) over the measured
+// history, the pure time-series baseline of §4.2.1.
+func arBetweenReadings(sp *dataset.Split, idx []int, miss int) stats.Metrics {
+	truth := sp.Test.NodePower()
+	pred := append([]float64(nil), truth...)
+	ar := interp.NewAR(5)
+	// Fit on the training set's measured subsamples.
+	var hist []float64
+	for _, i := range sp.Train.MeasuredIndices(miss) {
+		hist = append(hist, sp.Train.Samples[i].PNode)
+	}
+	if err := ar.Fit(hist); err != nil {
+		return stats.Metrics{}
+	}
+	var seen []float64
+	for k, i := range idx {
+		seen = append(seen, truth[i])
+		end := sp.Test.Len()
+		if k+1 < len(idx) {
+			end = idx[k+1]
+		}
+		if gap := end - i - 1; gap > 0 {
+			fc := ar.Forecast(seen, gap)
+			copy(pred[i+1:end], fc)
+		}
+	}
+	return stats.Evaluate(truth, pred)
+}
+
+// Table renders the ablations.
+func (r *AblationResult) Table() *Table {
+	t := &Table{
+		ID:     "ablation",
+		Title:  "Design ablations (node power unless noted; unseen split)",
+		Header: []string{"Variant", "MAPE(%)", "RMSE", "MAE"},
+	}
+	row := func(name string, m stats.Metrics) { t.AddRow(name, f2(m.MAPE), f2(m.RMSE), f2(m.MAE)) }
+	row("StaticTRR (full, Algorithm 1)", r.StaticFull)
+	row("StaticTRR w/o post-processing", r.StaticNoPost)
+	row("DynamicTRR (P'_Node feature)", r.DynamicFull)
+	row("DynamicTRR w/o P'_Node", r.DynamicNoPNode)
+	row("SRR P_CPU with active learning", r.WithActive)
+	row("SRR P_CPU w/o active learning", r.WithoutActive)
+	row("AR(5) extrapolation", r.ARExtrapolation)
+	t.Notes = append(t.Notes,
+		"expected: Algorithm 1 and the P'_Node feature each reduce error;",
+		"AR tracks the long-term trend about as well as the spline but, like it, is blind to in-gap",
+		"fluctuations — the counter-driven residual/LSTM components are what capture those (§4.2.1)")
+	return t
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"highrpm/internal/dataset"
+	"highrpm/internal/linmodel"
+	"highrpm/internal/model"
+	"highrpm/internal/neighbors"
+	"highrpm/internal/neural"
+	"highrpm/internal/pmu"
+	"highrpm/internal/stats"
+	"highrpm/internal/svm"
+	"highrpm/internal/tree"
+)
+
+// Baseline is one Table 4 comparison model.
+type Baseline struct {
+	// Name is the paper's abbreviation (LR, LaR, RR, SGD, DT, RF, GB, KNN,
+	// SVM, NN, GRU, LSTM).
+	Name string
+	// Type groups rows the way the tables do (Linear / Nonlinear / RNN).
+	Type string
+	// New builds an untrained tabular regressor (nil for sequence models).
+	New func(seed int64) model.Regressor
+	// NewSeq builds an untrained sequence regressor (nil for tabular).
+	NewSeq func(cfg Config, seed int64) model.SeqRegressor
+}
+
+// Baselines returns the twelve Table 4 models with the paper's
+// hyperparameters.
+func Baselines() []Baseline {
+	return []Baseline{
+		{Name: "LR", Type: "Linear", New: func(seed int64) model.Regressor {
+			return &model.ScaledRegressor{Inner: linmodel.NewLinear()}
+		}},
+		{Name: "LaR", Type: "Linear", New: func(seed int64) model.Regressor {
+			return &model.ScaledRegressor{Inner: linmodel.NewLasso(0.001)}
+		}},
+		{Name: "RR", Type: "Linear", New: func(seed int64) model.Regressor {
+			return &model.ScaledRegressor{Inner: linmodel.NewRidge(1.0)}
+		}},
+		{Name: "SGD", Type: "Linear", New: func(seed int64) model.Regressor {
+			s := linmodel.NewSGD(seed)
+			s.MaxIter = 10000 // Table 4: squared_error, max_iter=10000
+			return &model.ScaledRegressor{Inner: s}
+		}},
+		{Name: "DT", Type: "Nonlinear", New: func(seed int64) model.Regressor {
+			t := tree.NewRegressor() // Table 4: squared_error
+			t.Seed = seed
+			return t
+		}},
+		{Name: "RF", Type: "Nonlinear", New: func(seed int64) model.Regressor {
+			return tree.NewForest(10, seed) // Table 4: #trees=10
+		}},
+		{Name: "GB", Type: "Nonlinear", New: func(seed int64) model.Regressor {
+			return tree.NewGradientBoosting(10, seed) // Table 4: #trees=10
+		}},
+		{Name: "KNN", Type: "Nonlinear", New: func(seed int64) model.Regressor {
+			return &model.ScaledRegressor{Inner: neighbors.NewKNN(3)} // #neighbors=3
+		}},
+		{Name: "SVM", Type: "Nonlinear", New: func(seed int64) model.Regressor {
+			return &model.ScaledRegressor{Inner: svm.NewSVR(seed)}
+		}},
+		{Name: "NN", Type: "Nonlinear", New: func(seed int64) model.Regressor {
+			n := neural.NewBaselineNN(seed) // Table 4: hidden=30
+			n.Epochs = 40
+			return n
+		}},
+		{Name: "GRU", Type: "RNN", NewSeq: func(cfg Config, seed int64) model.SeqRegressor {
+			g := neural.NewGRU(16, 2, seed) // Table 4: #units=2 (layers)
+			g.Epochs = cfg.RNNEpochs
+			return g
+		}},
+		{Name: "LSTM", Type: "RNN", NewSeq: func(cfg Config, seed int64) model.SeqRegressor {
+			l := neural.NewLSTM(16, 2, seed)
+			l.Epochs = cfg.RNNEpochs
+			return l
+		}},
+	}
+}
+
+// target selects a prediction label.
+type target int
+
+const (
+	targetNode target = iota
+	targetCPU
+	targetMEM
+)
+
+func (t target) labels(s *dataset.Set) []float64 {
+	switch t {
+	case targetCPU:
+		return s.CPUPower()
+	case targetMEM:
+		return s.MemPower()
+	default:
+		return s.NodePower()
+	}
+}
+
+// evalTabular fits a tabular baseline PMC→target and scores it on the test
+// set. The baselines see only PMCs — they are the "software-centric power
+// modeling" side of the comparison and get no node-power readings.
+func evalTabular(b Baseline, sp *dataset.Split, tgt target, seed int64) (stats.Metrics, error) {
+	m := b.New(seed)
+	if err := m.Fit(sp.Train.PMCMatrix(), tgt.labels(sp.Train)); err != nil {
+		return stats.Metrics{}, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	pred := model.PredictBatch(m, sp.Test.PMCMatrix())
+	return stats.Evaluate(tgt.labels(sp.Test), pred), nil
+}
+
+// evalSeq fits a sequence baseline on PMC-only windows (per-step labels)
+// and scores one-step-ahead predictions over the test set. Like the other
+// baselines it never sees node power — that is HighRPM's differentiator.
+func evalSeq(b Baseline, cfg Config, sp *dataset.Split, tgt target, seed int64) (stats.Metrics, error) {
+	miss := cfg.MissInterval
+	m := b.NewSeq(cfg, seed)
+	trainWins := pmcWindows(sp.Train, tgt, miss)
+	trainWins = dataset.SubsampleWindows(trainWins, cfg.RNNMaxWindows)
+	seqs, targets := dataset.WindowsToSeqs(trainWins)
+	if err := m.FitSeq(seqs, targets); err != nil {
+		return stats.Metrics{}, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	labels := tgt.labels(sp.Test)
+	pred := make([]float64, sp.Test.Len())
+	for i := range pred {
+		w := pmcWindowAt(sp.Test, i, miss)
+		out := m.PredictSeq(w)
+		pred[i] = out[len(out)-1]
+	}
+	return stats.Evaluate(labels, pred), nil
+}
+
+// pmcWindows builds PMC-only sliding windows with per-step labels.
+func pmcWindows(s *dataset.Set, tgt target, miss int) []dataset.Window {
+	labels := tgt.labels(s)
+	n := s.Len()
+	if n < miss {
+		return nil
+	}
+	out := make([]dataset.Window, 0, n-miss+1)
+	for start := 0; start+miss <= n; start++ {
+		w := dataset.Window{Features: make([][]float64, miss), Labels: make([]float64, miss)}
+		for j := 0; j < miss; j++ {
+			i := start + j
+			f := make([]float64, pmu.NumEvents)
+			copy(f, s.Samples[i].PMC)
+			w.Features[j] = f
+			w.Labels[j] = labels[i]
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// pmcWindowAt builds the trailing window ending at index end (front-padded
+// with the first sample when history is short).
+func pmcWindowAt(s *dataset.Set, end, miss int) [][]float64 {
+	w := make([][]float64, miss)
+	for j := 0; j < miss; j++ {
+		i := end - miss + 1 + j
+		if i < 0 {
+			i = 0
+		}
+		f := make([]float64, pmu.NumEvents)
+		copy(f, s.Samples[i].PMC)
+		w[j] = f
+	}
+	return w
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import "testing"
+
+func TestAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several models; skipped in -short")
+	}
+	ws := benchWorkspace()
+	r, err := RunAblations(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StaticNoPost.MAPE <= r.StaticFull.MAPE {
+		t.Errorf("Algorithm 1 should reduce StaticTRR error: %.2f vs %.2f",
+			r.StaticFull.MAPE, r.StaticNoPost.MAPE)
+	}
+	if r.DynamicNoPNode.MAPE <= r.DynamicFull.MAPE {
+		t.Errorf("P'_Node feature should reduce DynamicTRR error: %.2f vs %.2f",
+			r.DynamicFull.MAPE, r.DynamicNoPNode.MAPE)
+	}
+	if r.ARExtrapolation.N == 0 || r.WithActive.N == 0 || r.WithoutActive.N == 0 {
+		t.Fatal("missing ablation results")
+	}
+	if r.Table().String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestDVFSShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several models; skipped in -short")
+	}
+	r, err := RunDVFS(NewConfig(ScaleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows want 3 (one per ARM DVFS level)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.PerLevel.N == 0 || row.Mixed.N == 0 {
+			t.Fatalf("missing results at %.1f GHz", row.FreqGHz)
+		}
+		// The documented finding: per-level training is at least as good.
+		if row.PerLevel.MAPE > row.Mixed.MAPE*1.1 {
+			t.Errorf("%.1f GHz: per-level %.2f unexpectedly worse than mixed %.2f",
+				row.FreqGHz, row.PerLevel.MAPE, row.Mixed.MAPE)
+		}
+	}
+}
+
+func TestGPUExtensionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	r, err := RunGPU(NewConfig(ScaleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("%d rows want 5 (4 kernels + aliasing remedy)", len(r.Rows))
+	}
+	var aliasing, remedy GPURow
+	for _, row := range r.Rows {
+		switch row.Kernel {
+		case "reduction":
+			aliasing = row
+		case "reduction (2s readings)":
+			remedy = row
+		default:
+			// Non-aliased kernels: TRR beats the counter-only baseline.
+			if row.TRR.MAPE >= row.LinearCO.MAPE {
+				t.Errorf("%s: TRR %.2f should beat counter-only LR %.2f",
+					row.Kernel, row.TRR.MAPE, row.LinearCO.MAPE)
+			}
+		}
+	}
+	// The documented aliasing failure and its remedy.
+	if aliasing.TRR.MAPE < 2*remedy.TRR.MAPE {
+		t.Errorf("faster readings should strongly reduce the aliasing error: %.2f vs %.2f",
+			aliasing.TRR.MAPE, remedy.TRR.MAPE)
+	}
+}

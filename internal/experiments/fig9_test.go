@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains per-frequency models; skipped in -short")
+	}
+	r, err := RunFig9(NewConfig(ScaleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("%d frequency points want 3", len(r.Points))
+	}
+	for i, p := range r.Points {
+		if p.CPU.N == 0 || p.MEM.N == 0 || p.CPUBasis.N == 0 {
+			t.Fatalf("point %d incomplete", i)
+		}
+		if i > 0 && p.FreqGHz <= r.Points[i-1].FreqGHz {
+			t.Fatal("frequencies must ascend")
+		}
+	}
+	// §6.4.2 shape: the top frequency is the hardest for P_CPU.
+	lo, hi := r.Points[0], r.Points[len(r.Points)-1]
+	if hi.CPU.MAPE <= lo.CPU.MAPE*0.8 {
+		t.Errorf("P_CPU should get harder with frequency: %.2f @%.1f vs %.2f @%.1f",
+			lo.CPU.MAPE, lo.FreqGHz, hi.CPU.MAPE, hi.FreqGHz)
+	}
+	// And HighRPM stays at or below the PMC-only baseline at the top level.
+	if hi.CPU.MAPE > hi.CPUBasis.MAPE*1.1 {
+		t.Errorf("SRR %.2f should not exceed the NN baseline %.2f at max frequency",
+			hi.CPU.MAPE, hi.CPUBasis.MAPE)
+	}
+	if r.Table().String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestX86ExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full x86 evaluation; skipped in -short")
+	}
+	r, err := RunX86(NewConfig(ScaleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := r.NodeMetric("DynamicTRR")
+	if dyn.N == 0 {
+		t.Fatal("no x86 DynamicTRR result")
+	}
+	// Same headline as the ARM table: DynamicTRR beats every baseline.
+	for _, b := range Baselines() {
+		if m := r.TRR.Unseen[b.Name]; dyn.MAPE >= m.MAPE {
+			t.Errorf("x86: DynamicTRR %.2f must beat %s %.2f", dyn.MAPE, b.Name, m.MAPE)
+		}
+	}
+	// SRR leads on P_CPU as on ARM.
+	srr := r.SRR.CPUUnseen["SRR"]
+	for _, b := range Baselines() {
+		if m := r.SRR.CPUUnseen[b.Name]; srr.MAPE >= m.MAPE {
+			t.Errorf("x86: SRR P_CPU %.2f must beat %s %.2f", srr.MAPE, b.Name, m.MAPE)
+		}
+	}
+	if r.Table9().String() == "" {
+		t.Fatal("empty table")
+	}
+}

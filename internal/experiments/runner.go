@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// runnerFunc produces the tables of one experiment.
+type runnerFunc func(ws *Workspace) ([]*Table, error)
+
+var registry = map[string]struct {
+	desc string
+	run  runnerFunc
+}{
+	"fig1": {"Graph500 power capping under PI/AI sweeps (motivation)", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunFig1(ws.Config())
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table()}, nil
+	}},
+	"fig2": {"FFT vs Stream component power divergence (motivation)", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunFig2(ws.Config())
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table()}, nil
+	}},
+	"tab5": {"TRR vs 12 baselines on node power (with tab6)", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunTRRComparison(ws)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table5(), r.Table6()}, nil
+	}},
+	"tab7": {"SRR vs 12 baselines on component power (with tab8)", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunSRRComparison(ws)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table7(), r.Table8()}, nil
+	}},
+	"tab9": {"Full method on the x86/RAPL platform, unseen apps", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunX86(ws.Config())
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table9()}, nil
+	}},
+	"fig7": {"miss_interval sweep: spline vs StaticTRR", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunFig7(ws)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table()}, nil
+	}},
+	"fig8": {"miss_interval sensitivity of HighRPM", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunFig8(ws)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table()}, nil
+	}},
+	"fig9": {"CPU frequency sensitivity on Graph500", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunFig9(ws.Config())
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table()}, nil
+	}},
+	"hyper": {"§6.4.3 hyperparametric analysis", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunHyper(ws)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table()}, nil
+	}},
+	"overhead": {"§6.4.5 training and prediction overhead", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunOverhead(ws)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table()}, nil
+	}},
+	"governor": {"power-capping control stacks driven by HighRPM vs raw IM", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunGovernor(ws.Config())
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table()}, nil
+	}},
+	"dvfs": {"deployment: one mixed-frequency model vs per-level training", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunDVFS(ws.Config())
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table()}, nil
+	}},
+	"gpu": {"§6.4.4 extension: GPU power restoration", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunGPU(ws.Config())
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table()}, nil
+	}},
+	"ablation": {"design-choice ablations (Algorithm 1, P'_Node feature, active learning, AR)", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunAblations(ws)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table()}, nil
+	}},
+	"jitter": {"§6.4.6 robustness to fluctuating miss_interval", func(ws *Workspace) ([]*Table, error) {
+		r, err := RunJitter(ws)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{r.Table()}, nil
+	}},
+}
+
+// IDs returns the experiment identifiers in stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns a one-line description of an experiment.
+func Describe(id string) string { return registry[id].desc }
+
+// Run executes one experiment against a shared workspace.
+func Run(ws *Workspace, id string) ([]*Table, error) {
+	ent, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return ent.run(ws)
+}
+
+// RunAndRender executes experiments in order and renders their tables.
+func RunAndRender(ws *Workspace, ids []string, w io.Writer) error {
+	for _, id := range ids {
+		tables, err := Run(ws, id)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		for _, t := range tables {
+			t.Render(w)
+		}
+	}
+	return nil
+}
+
+// DefaultOrder lists all experiments in presentation order (motivation
+// figures first, then the evaluation tables, then discussion artifacts).
+func DefaultOrder() []string {
+	return []string{"fig1", "fig2", "tab5", "tab7", "tab9", "fig7", "fig8", "fig9", "hyper", "overhead", "jitter", "ablation", "gpu", "dvfs", "governor"}
+}

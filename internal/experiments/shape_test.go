@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The shape tests run the heavier evaluation experiments at bench scale and
+// assert the paper's qualitative claims. They are skipped under -short.
+
+func TestTRRComparisonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains 15 models; skipped in -short")
+	}
+	ws := benchWorkspace()
+	r, err := RunTRRComparison(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := r.Unseen["DynamicTRR"]
+	if dyn.N == 0 {
+		t.Fatal("no DynamicTRR result")
+	}
+	// Headline claim: DynamicTRR beats every baseline on unseen apps.
+	for _, b := range Baselines() {
+		if m := r.Unseen[b.Name]; dyn.MAPE >= m.MAPE {
+			t.Errorf("DynamicTRR MAPE %.2f must beat %s %.2f (unseen)", dyn.MAPE, b.Name, m.MAPE)
+		}
+	}
+	// Table 6 ordering: spline ≤ StaticTRR ≤ DynamicTRR (loose ≈ checks —
+	// spline and StaticTRR are close by construction).
+	spl, st := r.Unseen["Spline"], r.Unseen["StaticTRR"]
+	if spl.MAPE > st.MAPE*1.3 {
+		t.Errorf("spline MAPE %.2f should not exceed StaticTRR %.2f by >30%%", spl.MAPE, st.MAPE)
+	}
+	if st.MAPE > dyn.MAPE {
+		t.Errorf("StaticTRR %.2f should not exceed DynamicTRR %.2f", st.MAPE, dyn.MAPE)
+	}
+	// Linear models must cluster: max/min within a few percent.
+	var lmin, lmax float64 = 1e9, 0
+	for _, n := range []string{"LR", "LaR", "RR", "SGD"} {
+		m := r.Unseen[n].MAPE
+		if m < lmin {
+			lmin = m
+		}
+		if m > lmax {
+			lmax = m
+		}
+	}
+	if lmax-lmin > 2 {
+		t.Errorf("linear baselines spread too wide: %.2f..%.2f", lmin, lmax)
+	}
+	if r.Table5().String() == "" || r.Table6().String() == "" {
+		t.Fatal("empty tables")
+	}
+}
+
+func TestSRRComparisonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains 25+ models; skipped in -short")
+	}
+	ws := benchWorkspace()
+	r, err := RunSRRComparison(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srrCPU := r.CPUUnseen["SRR"]
+	if srrCPU.N == 0 {
+		t.Fatal("no SRR result")
+	}
+	// SRR beats every baseline on unseen P_CPU (the paper's strongest
+	// spatial claim, 7–24% MAPE reduction).
+	for _, b := range Baselines() {
+		if m := r.CPUUnseen[b.Name]; srrCPU.MAPE >= m.MAPE {
+			t.Errorf("SRR P_CPU MAPE %.2f must beat %s %.2f (unseen)", srrCPU.MAPE, b.Name, m.MAPE)
+		}
+	}
+	// Unseen P_MEM stays within ~2 W MAE (paper §6.2.2).
+	if mem := r.MEMUnseen["SRR"]; mem.MAE > 3 {
+		t.Errorf("SRR unseen P_MEM MAE %.2f W, paper keeps it ≲ 2 W", mem.MAE)
+	}
+	// Table 8 ablation: removing P_Node hurts P_CPU substantially.
+	with := r.WithNode["cpu/unseen"]
+	without := r.WithoutNode["cpu/unseen"]
+	if without.MAPE < 1.5*with.MAPE {
+		t.Errorf("P_Node ablation too weak: %.2f vs %.2f", with.MAPE, without.MAPE)
+	}
+	if r.Table7().String() == "" || r.Table8().String() == "" {
+		t.Fatal("empty tables")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	ws := benchWorkspace()
+	r, err := RunFig7(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) < 2 {
+		t.Fatalf("only %d sweep points", len(r.Points))
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if first.MissInterval != 10 {
+		t.Fatalf("sweep must start at 10 s")
+	}
+	// Spline degrades as the interval grows.
+	if last.Spline.MAPE <= first.Spline.MAPE {
+		t.Errorf("spline MAPE should grow with miss_interval: %.2f -> %.2f",
+			first.Spline.MAPE, last.Spline.MAPE)
+	}
+}
+
+func TestJitterShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	ws := benchWorkspace()
+	r, err := RunJitter(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Clean.N == 0 || r.Jittered.N == 0 || r.Dropped.N == 0 {
+		t.Fatal("missing results")
+	}
+	// §6.4.6 expects degradation; the trend-feature implementation degrades
+	// gracefully, so assert only that degraded sensors give no *large*
+	// improvement (which would indicate an evaluation bug).
+	if r.Dropped.MAPE < r.Clean.MAPE*0.75 {
+		t.Errorf("dropping readings improved accuracy substantially: %.2f vs %.2f", r.Dropped.MAPE, r.Clean.MAPE)
+	}
+}
+
+func TestOverheadClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	ws := benchWorkspace()
+	r, err := RunOverhead(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §6.4.5 claims, with slack for the CI machine.
+	if r.OfflineTrain.Minutes() > 10 {
+		t.Errorf("offline training took %v, paper claims < 10 min", r.OfflineTrain)
+	}
+	if r.FineTune.Seconds() > 2 {
+		t.Errorf("fine-tune took %v, paper claims < 2 s", r.FineTune)
+	}
+	if r.PredictNode.Milliseconds() > 1 {
+		t.Errorf("node prediction latency %v, paper claims < 1 ms", r.PredictNode)
+	}
+	if r.PredictSpatial.Milliseconds() > 1 {
+		t.Errorf("component prediction latency %v, paper claims < 1 ms", r.PredictSpatial)
+	}
+}

@@ -1,0 +1,133 @@
+package gpuext
+
+import (
+	"fmt"
+
+	"highrpm/internal/core"
+	"highrpm/internal/interp"
+	"highrpm/internal/mat"
+	"highrpm/internal/model"
+	"highrpm/internal/stats"
+	"highrpm/internal/tree"
+)
+
+// TRR is the GPU temporal-resolution-restoration model: the StaticTRR
+// recipe (§4.2.1) retargeted at GPU counters per §6.4.4 — a spline over
+// sparse out-of-band power readings, a decision-tree residual model, and
+// Algorithm 1 post-processing. Unlike the paper-faithful CPU ResModel,
+// the GPU residual tree also receives the spline”s own estimate as a
+// feature: GPU kernels relaunch on few-second periods that alias the
+// reading interval, and correcting an aliased spline requires knowing
+// where the spline currently is (the same bi-directional idea as SRR).
+type TRR struct {
+	// MissInterval is the gap between power readings in samples.
+	MissInterval int
+	// Res is the counter-based residual model.
+	Res model.Regressor
+	// PUpper/PBottom bound plausible device power (from training data).
+	PUpper, PBottom float64
+	// Alpha/Beta are the Algorithm 1 thresholds.
+	Alpha, Beta float64
+}
+
+// FitTRR trains the residual model on a labeled device trace.
+func FitTRR(train *Trace, missInterval int) (*TRR, error) {
+	if missInterval < 2 {
+		missInterval = 10
+	}
+	n := len(train.Samples)
+	if n < 3*missInterval {
+		return nil, fmt.Errorf("gpuext: need at least %d samples, got %d", 3*missInterval, n)
+	}
+	times := train.Times()
+	power := train.Power()
+	var kx, ky []float64
+	for i := 0; i < n; i += missInterval {
+		kx = append(kx, times[i])
+		ky = append(ky, power[i])
+	}
+	sp, err := interp.NewCubicSpline(kx, ky)
+	if err != nil {
+		return nil, fmt.Errorf("gpuext: spline: %w", err)
+	}
+	splined := sp.Sample(times)
+
+	// Even-index half: every kernel of the training mix contributes to the
+	// residual model's distribution.
+	half := (n + 1) / 2
+	x := mat.NewDense(half, NumCounters+1)
+	resid := make([]float64, half)
+	for k := 0; k < half; k++ {
+		i := 2 * k
+		row := x.Row(k)
+		copy(row, train.Samples[i].Counters[:])
+		row[NumCounters] = splined[i]
+		resid[k] = power[i] - splined[i]
+	}
+	dt := tree.NewRegressor()
+	dt.MaxDepth = 14
+	dt.MinSamplesLeaf = 3
+	res := &model.ScaledRegressor{Inner: dt}
+	if err := res.Fit(x, resid); err != nil {
+		return nil, fmt.Errorf("gpuext: residual fit: %w", err)
+	}
+	lo, hi := power[0], power[0]
+	for _, p := range power {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	return &TRR{
+		MissInterval: missInterval,
+		Res:          res,
+		PBottom:      lo, PUpper: hi,
+		Alpha: 0.05, Beta: 0.20,
+	}, nil
+}
+
+// Restore estimates the 1 Sa/s GPU power of a trace from readings at every
+// MissInterval-th sample.
+func (t *TRR) Restore(tr *Trace) ([]float64, error) {
+	n := len(tr.Samples)
+	times := tr.Times()
+	power := tr.Power()
+	var kx, ky []float64
+	var measured []int
+	for i := 0; i < n; i += t.MissInterval {
+		kx = append(kx, times[i])
+		ky = append(ky, power[i])
+		measured = append(measured, i)
+	}
+	sp, err := interp.NewCubicSpline(kx, ky)
+	if err != nil {
+		return nil, err
+	}
+	splined := sp.Sample(times)
+	residual := make([]float64, n)
+	feat := make([]float64, NumCounters+1)
+	for i := 0; i < n; i++ {
+		copy(feat, tr.Samples[i].Counters[:])
+		feat[NumCounters] = splined[i]
+		residual[i] = splined[i] + t.Res.Predict(feat)
+	}
+	out := core.PostProcess(splined, residual, core.PostProcessConfig{
+		PUpper: t.PUpper, PBottom: t.PBottom,
+		Alpha: t.Alpha, Beta: t.Beta, MissInterval: t.MissInterval,
+	})
+	for _, i := range measured {
+		out[i] = power[i]
+	}
+	return out, nil
+}
+
+// Evaluate restores the trace and scores against ground truth.
+func (t *TRR) Evaluate(tr *Trace) (stats.Metrics, error) {
+	est, err := t.Restore(tr)
+	if err != nil {
+		return stats.Metrics{}, err
+	}
+	return stats.Evaluate(tr.Power(), est), nil
+}

@@ -1,0 +1,93 @@
+package interp
+
+import (
+	"fmt"
+
+	"highrpm/internal/mat"
+)
+
+// AR is an autoregressive model of order p fitted by least squares —
+// the "ARIMA"-style alternative the paper contrasts with splines (§4.2.1:
+// "interpolation techniques like splines and ARIMA can only estimate
+// missing data points based on long-term trends"). It predicts the next
+// value from the previous p values and is used by the ablation experiments
+// to show why HighRPM does not rely on pure time-series extrapolation.
+type AR struct {
+	// Order is the number of lags p.
+	Order int
+	// Coef are the fitted lag coefficients (Coef[0] multiplies the most
+	// recent value).
+	Coef []float64
+	// Intercept is the fitted constant term.
+	Intercept float64
+	// Mean of the training series, used as the cold-start prediction.
+	Mean float64
+}
+
+// NewAR returns an untrained AR(p) model; order defaults to 3 when
+// non-positive.
+func NewAR(order int) *AR {
+	if order <= 0 {
+		order = 3
+	}
+	return &AR{Order: order}
+}
+
+// Fit estimates the coefficients on a regularly sampled series.
+func (a *AR) Fit(series []float64) error {
+	p := a.Order
+	n := len(series) - p
+	if n < p+2 {
+		return fmt.Errorf("interp: AR(%d) needs at least %d points, got %d", p, 2*p+2, len(series))
+	}
+	x := mat.NewDense(n, p+1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for k := 0; k < p; k++ {
+			row[k] = series[p+i-1-k]
+		}
+		row[p] = 1
+		y[i] = series[p+i]
+	}
+	w, err := mat.SolveLeastSquares(x, y)
+	if err != nil {
+		return fmt.Errorf("interp: AR fit: %w", err)
+	}
+	a.Coef = w[:p]
+	a.Intercept = w[p]
+	a.Mean = mat.Mean(series)
+	return nil
+}
+
+// Next predicts the value following the given history (most recent last).
+// Shorter histories are padded with the training mean.
+func (a *AR) Next(history []float64) float64 {
+	if a.Coef == nil {
+		panic("interp: AR is not fitted")
+	}
+	pred := a.Intercept
+	for k := 0; k < a.Order; k++ {
+		idx := len(history) - 1 - k
+		v := a.Mean
+		if idx >= 0 {
+			v = history[idx]
+		}
+		pred += a.Coef[k] * v
+	}
+	return pred
+}
+
+// Forecast iterates Next for steps predictions, feeding each prediction
+// back as history — the pure-extrapolation behaviour whose error growth
+// motivates DynamicTRR.
+func (a *AR) Forecast(history []float64, steps int) []float64 {
+	h := append([]float64(nil), history...)
+	out := make([]float64, steps)
+	for i := 0; i < steps; i++ {
+		v := a.Next(h)
+		out[i] = v
+		h = append(h, v)
+	}
+	return out
+}

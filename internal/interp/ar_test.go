@@ -1,0 +1,67 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestARRecoversKnownProcess(t *testing.T) {
+	// x_t = 0.7·x_{t−1} + 2 with small noise.
+	rng := rand.New(rand.NewSource(1))
+	series := make([]float64, 500)
+	series[0] = 6.6
+	for i := 1; i < len(series); i++ {
+		series[i] = 0.7*series[i-1] + 2 + rng.NormFloat64()*0.01
+	}
+	ar := NewAR(1)
+	if err := ar.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ar.Coef[0]-0.7) > 0.02 {
+		t.Fatalf("coef = %g want ~0.7", ar.Coef[0])
+	}
+	if math.Abs(ar.Intercept-2) > 0.2 {
+		t.Fatalf("intercept = %g want ~2", ar.Intercept)
+	}
+	// One-step prediction from the stationary point stays there.
+	if got := ar.Next([]float64{6.667}); math.Abs(got-6.667) > 0.1 {
+		t.Fatalf("Next = %g want ~6.667", got)
+	}
+}
+
+func TestARForecastConvergesToFixedPoint(t *testing.T) {
+	ar := &AR{Order: 1, Coef: []float64{0.5}, Intercept: 5, Mean: 10}
+	fc := ar.Forecast([]float64{0}, 50)
+	// Fixed point of x = 0.5x + 5 is 10.
+	if math.Abs(fc[len(fc)-1]-10) > 1e-6 {
+		t.Fatalf("forecast tail = %g want 10", fc[len(fc)-1])
+	}
+}
+
+func TestARShortHistoryUsesMean(t *testing.T) {
+	ar := &AR{Order: 3, Coef: []float64{0.2, 0.2, 0.2}, Intercept: 0, Mean: 50}
+	// Empty history: prediction = 0.6·mean.
+	if got := ar.Next(nil); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("Next(nil) = %g want 30", got)
+	}
+}
+
+func TestARErrors(t *testing.T) {
+	ar := NewAR(5)
+	if err := ar.Fit([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected too-short error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unfitted Next")
+		}
+	}()
+	NewAR(2).Next([]float64{1, 2})
+}
+
+func TestARDefaultOrder(t *testing.T) {
+	if NewAR(0).Order != 3 {
+		t.Fatal("default order must be 3")
+	}
+}

@@ -1,0 +1,268 @@
+// Package model defines the contracts shared by every regression model in
+// the repository — the 12 baselines of Table 4 and the HighRPM networks —
+// together with the supporting machinery the paper's methodology requires:
+// feature standardization, k-fold cross-validation (§5.3 uses 5-fold),
+// grid search over hyperparameters (§5.4), and JSON persistence.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"highrpm/internal/mat"
+)
+
+// Regressor is a single-output regression model mapping a feature vector to
+// a scalar target (a power reading in watts).
+type Regressor interface {
+	// Fit trains the model on the rows of x against targets y.
+	Fit(x *mat.Dense, y []float64) error
+	// Predict evaluates the model on one feature vector.
+	Predict(features []float64) float64
+}
+
+// MultiRegressor is a multi-output regression model; the SRR MLP emits
+// (P_CPU, P_MEM) jointly (§4.3).
+type MultiRegressor interface {
+	// FitMulti trains on rows of x against rows of y.
+	FitMulti(x, y *mat.Dense) error
+	// PredictMulti evaluates the model on one feature vector.
+	PredictMulti(features []float64) []float64
+}
+
+// SeqRegressor is a sequence-to-sequence regression model. DynamicTRR feeds
+// windows of miss_interval consecutive samples and reads back the power at
+// each step (§4.2.2, Fig. 4).
+type SeqRegressor interface {
+	// FitSeq trains on sequences; seqs[i] is a window of feature vectors
+	// and targets[i] the per-step labels of the same length.
+	FitSeq(seqs [][][]float64, targets [][]float64) error
+	// PredictSeq returns one prediction per step of the window.
+	PredictSeq(window [][]float64) []float64
+}
+
+// FineTuner is implemented by models that support cheap online refinement;
+// the active-learning stage (§4.1) and DynamicTRR's per-window refresh
+// (§4.2.2) rely on it.
+type FineTuner interface {
+	// FineTune performs a small number of additional optimisation steps on
+	// the given sequences without re-initialising the model.
+	FineTune(seqs [][][]float64, targets [][]float64) error
+}
+
+// PredictBatch evaluates r on every row of x.
+func PredictBatch(r Regressor, x *mat.Dense) []float64 {
+	out := make([]float64, x.Rows())
+	for i := range out {
+		out[i] = r.Predict(x.Row(i))
+	}
+	return out
+}
+
+// PredictMultiBatch evaluates r on every row of x, returning a matrix with
+// one prediction row per input row.
+func PredictMultiBatch(r MultiRegressor, x *mat.Dense) *mat.Dense {
+	first := r.PredictMulti(x.Row(0))
+	out := mat.NewDense(x.Rows(), len(first))
+	copy(out.Row(0), first)
+	for i := 1; i < x.Rows(); i++ {
+		copy(out.Row(i), r.PredictMulti(x.Row(i)))
+	}
+	return out
+}
+
+// StandardScaler standardizes features to zero mean and unit variance,
+// column by column. Columns with zero variance pass through unscaled.
+type StandardScaler struct {
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+}
+
+// FitScaler computes per-column statistics of x.
+func FitScaler(x *mat.Dense) *StandardScaler {
+	_, c := x.Dims()
+	s := &StandardScaler{Mean: make([]float64, c), Std: make([]float64, c)}
+	for j := 0; j < c; j++ {
+		col := x.Col(j)
+		s.Mean[j] = mat.Mean(col)
+		v := mat.Variance(col)
+		if v <= 0 {
+			s.Std[j] = 1
+		} else {
+			s.Std[j] = math.Sqrt(v)
+		}
+	}
+	return s
+}
+
+// Transform returns a standardized copy of x.
+func (s *StandardScaler) Transform(x *mat.Dense) *mat.Dense {
+	r, c := x.Dims()
+	if c != len(s.Mean) {
+		panic(fmt.Sprintf("model: scaler fitted on %d columns, got %d", len(s.Mean), c))
+	}
+	out := mat.NewDense(r, c)
+	for i := 0; i < r; i++ {
+		row := x.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < c; j++ {
+			orow[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return out
+}
+
+// TransformRow standardizes a single feature vector.
+func (s *StandardScaler) TransformRow(row []float64) []float64 {
+	if len(row) != len(s.Mean) {
+		panic(fmt.Sprintf("model: scaler fitted on %d columns, got %d", len(s.Mean), len(row)))
+	}
+	out := make([]float64, len(row))
+	for j := range row {
+		out[j] = (row[j] - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// ScaledRegressor wraps a Regressor with input standardization so callers
+// can feed raw PMC counts without worrying about scale.
+type ScaledRegressor struct {
+	Inner  Regressor
+	Scaler *StandardScaler
+}
+
+// Fit standardizes x, remembers the statistics, and fits the inner model.
+func (s *ScaledRegressor) Fit(x *mat.Dense, y []float64) error {
+	s.Scaler = FitScaler(x)
+	return s.Inner.Fit(s.Scaler.Transform(x), y)
+}
+
+// Predict standardizes the feature vector and delegates to the inner model.
+func (s *ScaledRegressor) Predict(features []float64) float64 {
+	return s.Inner.Predict(s.Scaler.TransformRow(features))
+}
+
+// KFold yields k train/test index splits over n samples. When shuffle is
+// true the order is permuted with rng first (rng may be nil for the
+// identity order).
+func KFold(n, k int, rng *rand.Rand) [][2][]int {
+	if k < 2 || n < k {
+		panic(fmt.Sprintf("model: invalid KFold n=%d k=%d", n, k))
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if rng != nil {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	}
+	folds := make([][2][]int, 0, k)
+	foldSize := n / k
+	rem := n % k
+	start := 0
+	for f := 0; f < k; f++ {
+		size := foldSize
+		if f < rem {
+			size++
+		}
+		test := append([]int(nil), idx[start:start+size]...)
+		train := make([]int, 0, n-size)
+		train = append(train, idx[:start]...)
+		train = append(train, idx[start+size:]...)
+		folds = append(folds, [2][]int{train, test})
+		start += size
+	}
+	return folds
+}
+
+// Subset extracts the given rows of x and entries of y.
+func Subset(x *mat.Dense, y []float64, rows []int) (*mat.Dense, []float64) {
+	_, c := x.Dims()
+	sx := mat.NewDense(len(rows), c)
+	var sy []float64
+	if y != nil {
+		sy = make([]float64, len(rows))
+	}
+	for i, r := range rows {
+		copy(sx.Row(i), x.Row(r))
+		if y != nil {
+			sy[i] = y[r]
+		}
+	}
+	return sx, sy
+}
+
+// GridPoint is one hyperparameter assignment tried by GridSearch.
+type GridPoint map[string]float64
+
+// GridSearch exhaustively evaluates factory-built models over the cross
+// product of the parameter grid using k-fold CV and returns the assignment
+// with the lowest mean validation RMSE. The paper tunes its RNN baselines
+// this way (§5.4).
+func GridSearch(
+	grid map[string][]float64,
+	factory func(GridPoint) Regressor,
+	x *mat.Dense, y []float64,
+	k int, rng *rand.Rand,
+) (GridPoint, float64) {
+	points := expandGrid(grid)
+	bestScore := inf()
+	var best GridPoint
+	folds := KFold(len(y), k, rng)
+	for _, p := range points {
+		var total float64
+		for _, fold := range folds {
+			tx, ty := Subset(x, y, fold[0])
+			vx, vy := Subset(x, y, fold[1])
+			m := factory(p)
+			if err := m.Fit(tx, ty); err != nil {
+				total = inf()
+				break
+			}
+			var sq float64
+			for i, row := 0, 0; i < len(vy); i, row = i+1, row+1 {
+				d := m.Predict(vx.Row(i)) - vy[i]
+				sq += d * d
+			}
+			total += sq / float64(len(vy))
+		}
+		if total < bestScore {
+			bestScore = total
+			best = p
+		}
+	}
+	return best, bestScore / float64(len(folds))
+}
+
+func inf() float64 { return 1e308 }
+
+func expandGrid(grid map[string][]float64) []GridPoint {
+	keys := make([]string, 0, len(grid))
+	for k := range grid {
+		keys = append(keys, k)
+	}
+	// Deterministic order: insertion order is unavailable for maps, so sort.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	points := []GridPoint{{}}
+	for _, key := range keys {
+		vals := grid[key]
+		next := make([]GridPoint, 0, len(points)*len(vals))
+		for _, p := range points {
+			for _, v := range vals {
+				np := GridPoint{}
+				for k2, v2 := range p {
+					np[k2] = v2
+				}
+				np[key] = v
+				next = append(next, np)
+			}
+		}
+		points = next
+	}
+	return points
+}

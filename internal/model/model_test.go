@@ -1,0 +1,190 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"highrpm/internal/mat"
+)
+
+func TestFitScalerStandardizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.NewDense(200, 3)
+	for i := 0; i < 200; i++ {
+		x.Set(i, 0, rng.NormFloat64()*10+5)
+		x.Set(i, 1, rng.NormFloat64()*0.01-3)
+		x.Set(i, 2, 7) // constant column
+	}
+	s := FitScaler(x)
+	tx := s.Transform(x)
+	for j := 0; j < 2; j++ {
+		col := tx.Col(j)
+		if m := mat.Mean(col); math.Abs(m) > 1e-9 {
+			t.Fatalf("col %d mean = %g", j, m)
+		}
+		if v := mat.Variance(col); math.Abs(v-1) > 1e-6 {
+			t.Fatalf("col %d variance = %g", j, v)
+		}
+	}
+	// Constant column passes through shifted but not exploded.
+	if got := tx.At(0, 2); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("constant column produced %g", got)
+	}
+}
+
+func TestTransformRowMatchesTransform(t *testing.T) {
+	x := mat.FromRows([][]float64{{1, 10}, {3, 30}, {5, 50}})
+	s := FitScaler(x)
+	full := s.Transform(x)
+	for i := 0; i < 3; i++ {
+		row := s.TransformRow(x.Row(i))
+		for j := range row {
+			if row[j] != full.At(i, j) {
+				t.Fatalf("row %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestTransformShapePanics(t *testing.T) {
+	s := FitScaler(mat.FromRows([][]float64{{1, 2}}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.TransformRow([]float64{1})
+}
+
+// Property: KFold partitions all indices exactly once across test folds,
+// and train/test are disjoint within every fold.
+func TestKFoldProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(90)
+		k := 2 + rng.Intn(4)
+		folds := KFold(n, k, rng)
+		if len(folds) != k {
+			return false
+		}
+		seen := map[int]int{}
+		for _, fold := range folds {
+			train, test := fold[0], fold[1]
+			if len(train)+len(test) != n {
+				return false
+			}
+			inTest := map[int]bool{}
+			for _, i := range test {
+				seen[i]++
+				inTest[i] = true
+			}
+			for _, i := range train {
+				if inTest[i] {
+					return false
+				}
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKFoldInvalid(t *testing.T) {
+	for _, tc := range [][2]int{{5, 1}, {2, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("KFold(%d,%d) should panic", tc[0], tc[1])
+				}
+			}()
+			KFold(tc[0], tc[1], nil)
+		}()
+	}
+}
+
+func TestSubset(t *testing.T) {
+	x := mat.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y := []float64{10, 20, 30}
+	sx, sy := Subset(x, y, []int{2, 0})
+	if sx.At(0, 0) != 5 || sx.At(1, 0) != 1 {
+		t.Fatal("Subset rows wrong")
+	}
+	if sy[0] != 30 || sy[1] != 10 {
+		t.Fatal("Subset targets wrong")
+	}
+	sx2, sy2 := Subset(x, nil, []int{1})
+	if sy2 != nil || sx2.Rows() != 1 {
+		t.Fatal("Subset with nil y wrong")
+	}
+}
+
+// meanModel predicts a constant; usable as a trivial Regressor.
+type meanModel struct{ mean, bias float64 }
+
+func (m *meanModel) Fit(x *mat.Dense, y []float64) error {
+	m.mean = mat.Mean(y) + m.bias
+	return nil
+}
+func (m *meanModel) Predict([]float64) float64 { return m.mean }
+
+func TestGridSearchPicksBetter(t *testing.T) {
+	// The "bias" hyperparameter 0 is strictly better than 100.
+	x := mat.NewDense(40, 1)
+	y := make([]float64, 40)
+	for i := range y {
+		x.Set(i, 0, float64(i))
+		y[i] = 5
+	}
+	best, score := GridSearch(
+		map[string][]float64{"bias": {100, 0, 50}},
+		func(p GridPoint) Regressor { return &meanModel{bias: p["bias"]} },
+		x, y, 4, rand.New(rand.NewSource(1)),
+	)
+	if best["bias"] != 0 {
+		t.Fatalf("GridSearch picked bias=%g want 0", best["bias"])
+	}
+	if score > 1e-9 {
+		t.Fatalf("best score = %g want ~0", score)
+	}
+}
+
+func TestGridSearchCrossProduct(t *testing.T) {
+	pts := expandGrid(map[string][]float64{"a": {1, 2}, "b": {3, 4, 5}})
+	if len(pts) != 6 {
+		t.Fatalf("grid size = %d want 6", len(pts))
+	}
+}
+
+func TestScaledRegressorRoundTrip(t *testing.T) {
+	// ScaledRegressor must be transparent for a scale-invariant model.
+	x := mat.FromRows([][]float64{{100}, {200}, {300}})
+	y := []float64{1, 2, 3}
+	s := &ScaledRegressor{Inner: &meanModel{}}
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Predict([]float64{150}); got != 2 {
+		t.Fatalf("Predict = %g want 2", got)
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	m := &meanModel{mean: 7}
+	x := mat.NewDense(3, 1)
+	out := PredictBatch(m, x)
+	if len(out) != 3 || out[0] != 7 {
+		t.Fatalf("PredictBatch = %v", out)
+	}
+}

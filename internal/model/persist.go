@@ -1,0 +1,88 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Envelope is the on-disk representation of a persisted model: a kind tag
+// naming the registered decoder plus the model's own JSON state.
+type Envelope struct {
+	Kind  string          `json:"kind"`
+	State json.RawMessage `json:"state"`
+}
+
+// Persistable is implemented by models that can round-trip through JSON.
+type Persistable interface {
+	// Kind returns the registry tag, e.g. "linmodel.ridge".
+	Kind() string
+	// MarshalState serialises the trained parameters.
+	MarshalState() ([]byte, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func([]byte) (any, error){}
+)
+
+// RegisterKind installs a decoder for the given model kind. Packages call
+// this from init; duplicate registration panics to surface wiring bugs.
+func RegisterKind(kind string, decode func([]byte) (any, error)) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("model: duplicate kind %q", kind))
+	}
+	registry[kind] = decode
+}
+
+// Save writes the model to path as a JSON envelope.
+func Save(path string, p Persistable) error {
+	state, err := p.MarshalState()
+	if err != nil {
+		return fmt.Errorf("model: marshal %s: %w", p.Kind(), err)
+	}
+	env := Envelope{Kind: p.Kind(), State: state}
+	data, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a JSON envelope from path and decodes it with the registered
+// decoder for its kind. The caller type-asserts the result.
+func Load(path string) (any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// Decode decodes an in-memory envelope.
+func Decode(data []byte) (any, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("model: bad envelope: %w", err)
+	}
+	registryMu.RLock()
+	dec, ok := registry[env.Kind]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("model: unknown kind %q", env.Kind)
+	}
+	return dec(env.State)
+}
+
+// Encode marshals a Persistable into envelope bytes without touching disk;
+// the cluster service ships models this way.
+func Encode(p Persistable) ([]byte, error) {
+	state, err := p.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(Envelope{Kind: p.Kind(), State: state})
+}

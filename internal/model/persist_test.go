@@ -1,0 +1,81 @@
+package model
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// toyModel is a minimal Persistable for registry tests.
+type toyModel struct {
+	Value float64 `json:"value"`
+}
+
+func (m *toyModel) Kind() string                  { return "model.toy" }
+func (m *toyModel) MarshalState() ([]byte, error) { return json.Marshal(m) }
+
+func init() {
+	RegisterKind("model.toy", func(b []byte) (any, error) {
+		m := &toyModel{}
+		return m, json.Unmarshal(b, m)
+	})
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "toy.json")
+	if err := Save(path, &toyModel{Value: 42.5}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got.(*toyModel)
+	if !ok {
+		t.Fatalf("decoded type %T", got)
+	}
+	if m.Value != 42.5 {
+		t.Fatalf("Value = %g want 42.5", m.Value)
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	data, err := Encode(&toyModel{Value: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*toyModel).Value != -1 {
+		t.Fatal("round trip lost the value")
+	}
+}
+
+func TestDecodeUnknownKind(t *testing.T) {
+	if _, err := Decode([]byte(`{"kind":"nope","state":{}}`)); err == nil {
+		t.Fatal("expected unknown-kind error")
+	}
+}
+
+func TestDecodeBadEnvelope(t *testing.T) {
+	if _, err := Decode([]byte(`not json`)); err == nil {
+		t.Fatal("expected envelope error")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	RegisterKind("model.toy", func(b []byte) (any, error) { return nil, nil })
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

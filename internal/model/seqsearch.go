@@ -1,0 +1,61 @@
+package model
+
+import (
+	"math/rand"
+)
+
+// GridSearchSeq exhaustively evaluates sequence models over a parameter
+// grid with k-fold cross-validation on windows, returning the assignment
+// with the lowest mean validation MSE. The paper tunes its GRU/LSTM
+// baselines this way ("GridSearch used to tune the hyperparameters in each
+// cross-validation", §5.4).
+func GridSearchSeq(
+	grid map[string][]float64,
+	factory func(GridPoint) SeqRegressor,
+	seqs [][][]float64, targets [][]float64,
+	k int, rng *rand.Rand,
+) (GridPoint, float64) {
+	points := expandGrid(grid)
+	folds := KFold(len(seqs), k, rng)
+	bestScore := inf()
+	var best GridPoint
+	for _, p := range points {
+		var total float64
+		valid := true
+		for _, fold := range folds {
+			trainSeqs, trainT := subsetSeqs(seqs, targets, fold[0])
+			valSeqs, valT := subsetSeqs(seqs, targets, fold[1])
+			m := factory(p)
+			if err := m.FitSeq(trainSeqs, trainT); err != nil {
+				valid = false
+				break
+			}
+			var sq float64
+			var n int
+			for i, s := range valSeqs {
+				out := m.PredictSeq(s)
+				for t := range out {
+					d := out[t] - valT[i][t]
+					sq += d * d
+					n++
+				}
+			}
+			total += sq / float64(n)
+		}
+		if valid && total < bestScore {
+			bestScore = total
+			best = p
+		}
+	}
+	return best, bestScore / float64(len(folds))
+}
+
+func subsetSeqs(seqs [][][]float64, targets [][]float64, idx []int) ([][][]float64, [][]float64) {
+	outS := make([][][]float64, len(idx))
+	outT := make([][]float64, len(idx))
+	for k, i := range idx {
+		outS[k] = seqs[i]
+		outT[k] = targets[i]
+	}
+	return outS, outT
+}

@@ -1,0 +1,71 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// constSeq predicts a constant per step; "level" is its hyperparameter.
+type constSeq struct{ level float64 }
+
+func (c *constSeq) FitSeq([][][]float64, [][]float64) error { return nil }
+func (c *constSeq) PredictSeq(w [][]float64) []float64 {
+	out := make([]float64, len(w))
+	for i := range out {
+		out[i] = c.level
+	}
+	return out
+}
+
+// failSeq always fails to fit.
+type failSeq struct{}
+
+func (f *failSeq) FitSeq([][][]float64, [][]float64) error { return fmt.Errorf("nope") }
+func (f *failSeq) PredictSeq(w [][]float64) []float64      { return make([]float64, len(w)) }
+
+func seqFixture(n, T int) (seqs [][][]float64, targets [][]float64) {
+	for i := 0; i < n; i++ {
+		win := make([][]float64, T)
+		lab := make([]float64, T)
+		for t := 0; t < T; t++ {
+			win[t] = []float64{0}
+			lab[t] = 7 // the right "level" is 7
+		}
+		seqs = append(seqs, win)
+		targets = append(targets, lab)
+	}
+	return seqs, targets
+}
+
+func TestGridSearchSeqPicksBest(t *testing.T) {
+	seqs, targets := seqFixture(20, 4)
+	best, score := GridSearchSeq(
+		map[string][]float64{"level": {0, 7, 20}},
+		func(p GridPoint) SeqRegressor { return &constSeq{level: p["level"]} },
+		seqs, targets, 4, rand.New(rand.NewSource(1)),
+	)
+	if best["level"] != 7 {
+		t.Fatalf("picked level=%g want 7", best["level"])
+	}
+	if score > 1e-9 {
+		t.Fatalf("best score = %g want 0", score)
+	}
+}
+
+func TestGridSearchSeqSkipsFailingFits(t *testing.T) {
+	seqs, targets := seqFixture(12, 3)
+	grid := map[string][]float64{"which": {0, 1}}
+	best, _ := GridSearchSeq(grid,
+		func(p GridPoint) SeqRegressor {
+			if p["which"] == 0 {
+				return &failSeq{}
+			}
+			return &constSeq{level: 7}
+		},
+		seqs, targets, 3, rand.New(rand.NewSource(2)),
+	)
+	if best["which"] != 1 {
+		t.Fatalf("failing candidate won: %v", best)
+	}
+}

@@ -1,0 +1,145 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdamStepClearsGradients(t *testing.T) {
+	w := newTensor(2, 2)
+	opt := newAdam(0.1, w)
+	for i := range w.G {
+		w.G[i] = 1
+	}
+	opt.Step(1, 0)
+	for i, g := range w.G {
+		if g != 0 {
+			t.Fatalf("gradient %d not cleared: %g", i, g)
+		}
+	}
+}
+
+func TestAdamDescendsQuadratic(t *testing.T) {
+	// Minimise f(w) = ½(w−3)²: Adam must converge to w = 3.
+	w := newTensor(1, 1)
+	opt := newAdam(0.1, w)
+	for i := 0; i < 500; i++ {
+		w.G[0] = w.W[0] - 3
+		opt.Step(1, 0)
+	}
+	if math.Abs(w.W[0]-3) > 0.05 {
+		t.Fatalf("converged to %g want 3", w.W[0])
+	}
+}
+
+func TestAdamGradientClipping(t *testing.T) {
+	w := newTensor(1, 4)
+	opt := newAdam(1.0, w)
+	for i := range w.G {
+		w.G[i] = 1e9
+	}
+	opt.Step(1, 5)
+	// With bias-corrected Adam the per-parameter step is bounded by ~LR
+	// regardless of gradient scale; clipping keeps the moments sane too.
+	for i, v := range w.W {
+		if math.Abs(v) > 1.5 {
+			t.Fatalf("param %d moved %g after one clipped step", i, v)
+		}
+	}
+}
+
+func TestSigmoidProperties(t *testing.T) {
+	if got := sigmoid(0); got != 0.5 {
+		t.Fatalf("sigmoid(0) = %g", got)
+	}
+	// Symmetric: σ(−x) = 1 − σ(x); bounded in (0,1); no overflow.
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		if math.Abs(x) > 500 {
+			x = math.Mod(x, 500)
+		}
+		s := sigmoid(x)
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			return false
+		}
+		return math.Abs(sigmoid(-x)-(1-s)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sigmoid(1000) != 1 || sigmoid(-1000) >= 1e-300 {
+		// Extremes must saturate without NaN/Inf.
+		t.Fatalf("sigmoid extremes: %g / %g", sigmoid(1000), sigmoid(-1000))
+	}
+}
+
+func TestScaler1dRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, 5+rng.Intn(50))
+		for i := range vals {
+			vals[i] = rng.NormFloat64()*50 + 100
+		}
+		s := fitScaler1d(vals)
+		for _, v := range vals {
+			if math.Abs(s.inv(s.fwd(v))-v) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaler1dConstantInput(t *testing.T) {
+	s := fitScaler1d([]float64{7, 7, 7})
+	if s.Std != 1 {
+		t.Fatalf("constant input std = %g want 1 (guard)", s.Std)
+	}
+	if s.fwd(7) != 0 || s.inv(0) != 7 {
+		t.Fatal("constant scaler round trip broken")
+	}
+}
+
+func TestScalerNDStandardizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 300)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64()*10 + 4, 42} // col 1 constant
+	}
+	s := fitScalerND(rows)
+	var sum, sq float64
+	for _, r := range rows {
+		v := s.fwd(r)[0]
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(len(rows))
+	if math.Abs(mean) > 1e-9 {
+		t.Fatalf("scaled mean = %g", mean)
+	}
+	if v := sq/float64(len(rows)) - mean*mean; math.Abs(v-1) > 1e-6 {
+		t.Fatalf("scaled variance = %g", v)
+	}
+	// Constant column must not produce NaN.
+	if out := s.fwd(rows[0]); math.IsNaN(out[1]) {
+		t.Fatal("constant column scaled to NaN")
+	}
+}
+
+func TestXavierInitBounded(t *testing.T) {
+	w := newTensor(10, 20)
+	w.initXavier(newDetRand(1))
+	limit := math.Sqrt(6.0 / 30.0)
+	for i, v := range w.W {
+		if math.Abs(v) > limit {
+			t.Fatalf("weight %d = %g exceeds Glorot limit %g", i, v, limit)
+		}
+	}
+}

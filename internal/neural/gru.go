@@ -1,0 +1,257 @@
+package neural
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"highrpm/internal/model"
+)
+
+// gruCell is one GRU layer. Gate blocks in the 3H dimension are ordered
+// [update z, reset r, candidate n]; the candidate follows the PyTorch
+// convention n = tanh(Wn·x + bn + r ⊙ (Un·h)).
+type gruCell struct {
+	in, hid int
+	wx      *tensor // in × 3H
+	wh      *tensor // H × 3H
+	b       *tensor // 1 × 3H
+}
+
+func newGRUCell(in, hid int, rng interface{ NormFloat64() float64 }) *gruCell {
+	c := &gruCell{in: in, hid: hid,
+		wx: newTensor(in, 3*hid), wh: newTensor(hid, 3*hid), b: newTensor(1, 3*hid)}
+	scaleX := 1 / math.Sqrt(float64(in))
+	scaleH := 1 / math.Sqrt(float64(hid))
+	for i := range c.wx.W {
+		c.wx.W[i] = rng.NormFloat64() * scaleX
+	}
+	for i := range c.wh.W {
+		c.wh.W[i] = rng.NormFloat64() * scaleH
+	}
+	return c
+}
+
+type gruCache struct {
+	x, hPrev []float64
+	z, r, n  []float64
+	a        []float64 // Un·h (candidate recurrent term before reset gating)
+}
+
+func (g *gruCell) zeroState() cellState { return cellState{h: make([]float64, g.hid)} }
+func (g *gruCell) inputSize() int       { return g.in }
+func (g *gruCell) hiddenSize() int      { return g.hid }
+func (g *gruCell) tensors() []*tensor   { return []*tensor{g.wx, g.wh, g.b} }
+
+func (g *gruCell) step(x []float64, st cellState) (cellState, any) {
+	H := g.hid
+	// zx = Wx·x + b for all three blocks; ah = Uh·h for all three blocks.
+	zx := make([]float64, 3*H)
+	copy(zx, g.b.W)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := g.wx.W[i*3*H : (i+1)*3*H]
+		for j, wv := range row {
+			zx[j] += xv * wv
+		}
+	}
+	ah := make([]float64, 3*H)
+	for i, hv := range st.h {
+		if hv == 0 {
+			continue
+		}
+		row := g.wh.W[i*3*H : (i+1)*3*H]
+		for j, wv := range row {
+			ah[j] += hv * wv
+		}
+	}
+	cache := &gruCache{
+		x: x, hPrev: st.h,
+		z: make([]float64, H), r: make([]float64, H),
+		n: make([]float64, H), a: ah[2*H : 3*H],
+	}
+	h := make([]float64, H)
+	for j := 0; j < H; j++ {
+		cache.z[j] = sigmoid(zx[j] + ah[j])
+		cache.r[j] = sigmoid(zx[H+j] + ah[H+j])
+		cache.n[j] = math.Tanh(zx[2*H+j] + cache.r[j]*cache.a[j])
+		h[j] = (1-cache.z[j])*cache.n[j] + cache.z[j]*st.h[j]
+	}
+	return cellState{h: h}, cache
+}
+
+func (g *gruCell) back(cacheAny any, dst cellState) ([]float64, cellState) {
+	cache := cacheAny.(*gruCache)
+	H := g.hid
+	// dzPre has the pre-activation gradients for the three gate blocks; the
+	// candidate block's recurrent path is gated by r, handled separately.
+	dzPre := make([]float64, 3*H)
+	dhPrev := make([]float64, H)
+	da := make([]float64, H)
+	for j := 0; j < H; j++ {
+		dh := dst.h[j]
+		dz := dh * (cache.hPrev[j] - cache.n[j])
+		dn := dh * (1 - cache.z[j])
+		dhPrev[j] += dh * cache.z[j]
+		dnPre := dn * (1 - cache.n[j]*cache.n[j])
+		dr := dnPre * cache.a[j]
+		da[j] = dnPre * cache.r[j]
+		dzPre[j] = dz * cache.z[j] * (1 - cache.z[j])
+		dzPre[H+j] = dr * cache.r[j] * (1 - cache.r[j])
+		dzPre[2*H+j] = dnPre
+	}
+	// Bias gradients (bias feeds zx for all blocks).
+	for j, d := range dzPre {
+		g.b.G[j] += d
+	}
+	// Input weights and dx.
+	dx := make([]float64, g.in)
+	for i, xv := range cache.x {
+		wrow := g.wx.W[i*3*H : (i+1)*3*H]
+		grow := g.wx.G[i*3*H : (i+1)*3*H]
+		var acc float64
+		for j, d := range dzPre {
+			grow[j] += d * xv
+			acc += d * wrow[j]
+		}
+		dx[i] = acc
+	}
+	// Recurrent weights: blocks z and r receive dzPre directly; block n
+	// receives da (the reset-gated path).
+	for i, hv := range cache.hPrev {
+		wrow := g.wh.W[i*3*H : (i+1)*3*H]
+		grow := g.wh.G[i*3*H : (i+1)*3*H]
+		var acc float64
+		for j := 0; j < 2*H; j++ {
+			grow[j] += dzPre[j] * hv
+			acc += dzPre[j] * wrow[j]
+		}
+		for j := 0; j < H; j++ {
+			grow[2*H+j] += da[j] * hv
+			acc += da[j] * wrow[2*H+j]
+		}
+		dhPrev[i] += acc
+	}
+	return dx, cellState{h: dhPrev}
+}
+
+// GRU is the gated-recurrent-unit baseline of Table 4, structured like the
+// paper's DynamicTRR network (two recurrent layers + linear readout).
+type GRU struct {
+	Hidden         int     `json:"hidden"`
+	Layers         int     `json:"layers"`
+	LR             float64 `json:"lr"`
+	Epochs         int     `json:"epochs"`
+	BatchSize      int     `json:"batch_size"`
+	FineTuneEpochs int     `json:"fine_tune_epochs"`
+	Seed           int64   `json:"seed"`
+
+	inputDim int
+	net      *seqNet
+}
+
+// NewGRU returns a GRU with the paper's two layers; hidden defaults to 16.
+func NewGRU(hidden, layers int, seed int64) *GRU {
+	if hidden <= 0 {
+		hidden = 16
+	}
+	if layers <= 0 {
+		layers = 2
+	}
+	return &GRU{Hidden: hidden, Layers: layers, LR: 0.01, Epochs: 30, BatchSize: 16, FineTuneEpochs: 2, Seed: seed}
+}
+
+func (g *GRU) build(inputDim int) {
+	g.inputDim = inputDim
+	rng := newDetRand(g.Seed)
+	var cells []cell
+	in := inputDim
+	for k := 0; k < g.Layers; k++ {
+		cells = append(cells, newGRUCell(in, g.Hidden, rng))
+		in = g.Hidden
+	}
+	g.net = newSeqNet(cells, g.LR, g.Seed+1)
+}
+
+// FitSeq trains the network on windows with per-step targets.
+func (g *GRU) FitSeq(seqs [][][]float64, targets [][]float64) error {
+	if len(seqs) == 0 {
+		return fmt.Errorf("neural: no training windows")
+	}
+	g.build(len(seqs[0][0]))
+	g.net.fitScalers(seqs, targets)
+	return g.net.trainWindows(seqs, targets, g.Epochs, g.BatchSize)
+}
+
+// FineTune runs a few additional epochs without re-initialising.
+func (g *GRU) FineTune(seqs [][][]float64, targets [][]float64) error {
+	if g.net == nil || !g.net.fitted {
+		return fmt.Errorf("neural: FineTune before FitSeq")
+	}
+	epochs := g.FineTuneEpochs
+	if epochs <= 0 {
+		epochs = 2
+	}
+	return g.net.trainWindows(seqs, targets, epochs, g.BatchSize)
+}
+
+// PredictSeq returns one prediction per window step.
+func (g *GRU) PredictSeq(window [][]float64) []float64 {
+	if g.net == nil {
+		panic("neural: GRU is not fitted")
+	}
+	return g.net.predictWindow(window)
+}
+
+// Kind implements model.Persistable.
+func (g *GRU) Kind() string { return "neural.gru" }
+
+// MarshalState implements model.Persistable.
+func (g *GRU) MarshalState() ([]byte, error) {
+	if g.net == nil {
+		return nil, fmt.Errorf("neural: marshal of unfitted GRU")
+	}
+	st := rnnState{
+		Hidden: g.Hidden, Layers: g.Layers, LR: g.LR, Epochs: g.Epochs,
+		Batch: g.BatchSize, Seed: g.Seed, InputDim: g.inputDim,
+		Wy: g.net.wy.W, By: g.net.by.W[0],
+		XScaler: g.net.xScaler, YScaler: g.net.yScaler,
+	}
+	for _, c := range g.net.layers {
+		gc := c.(*gruCell)
+		st.Tensors = append(st.Tensors, [][]float64{gc.wx.W, gc.wh.W, gc.b.W})
+	}
+	return json.Marshal(st)
+}
+
+func decodeGRU(b []byte) (any, error) {
+	var st rnnState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, err
+	}
+	g := NewGRU(st.Hidden, st.Layers, st.Seed)
+	g.LR, g.Epochs, g.BatchSize = st.LR, st.Epochs, st.Batch
+	g.build(st.InputDim)
+	for k, c := range g.net.layers {
+		gc := c.(*gruCell)
+		copy(gc.wx.W, st.Tensors[k][0])
+		copy(gc.wh.W, st.Tensors[k][1])
+		copy(gc.b.W, st.Tensors[k][2])
+	}
+	copy(g.net.wy.W, st.Wy)
+	g.net.by.W[0] = st.By
+	g.net.xScaler, g.net.yScaler = st.XScaler, st.YScaler
+	g.net.fitted = true
+	return g, nil
+}
+
+func init() {
+	model.RegisterKind("neural.gru", decodeGRU)
+}
+
+var (
+	_ model.SeqRegressor = (*GRU)(nil)
+	_ model.FineTuner    = (*GRU)(nil)
+)

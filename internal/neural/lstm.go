@@ -1,0 +1,285 @@
+package neural
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"highrpm/internal/model"
+)
+
+// lstmCell is one LSTM layer. Gate blocks in the 4H dimension are ordered
+// [input, forget, cell, output].
+type lstmCell struct {
+	in, hid int
+	wx      *tensor // in × 4H
+	wh      *tensor // H × 4H
+	b       *tensor // 1 × 4H
+}
+
+func newLSTMCell(in, hid int, rng interface{ NormFloat64() float64 }) *lstmCell {
+	c := &lstmCell{in: in, hid: hid,
+		wx: newTensor(in, 4*hid), wh: newTensor(hid, 4*hid), b: newTensor(1, 4*hid)}
+	scaleX := 1 / math.Sqrt(float64(in))
+	scaleH := 1 / math.Sqrt(float64(hid))
+	for i := range c.wx.W {
+		c.wx.W[i] = rng.NormFloat64() * scaleX
+	}
+	for i := range c.wh.W {
+		c.wh.W[i] = rng.NormFloat64() * scaleH
+	}
+	// Forget-gate bias starts at 1 so early training does not forget.
+	for j := hid; j < 2*hid; j++ {
+		c.b.W[j] = 1
+	}
+	return c
+}
+
+type lstmCache struct {
+	x, hPrev, cPrev []float64
+	i, f, g, o      []float64
+	c, tc           []float64
+}
+
+func (l *lstmCell) zeroState() cellState {
+	return cellState{h: make([]float64, l.hid), c: make([]float64, l.hid)}
+}
+
+func (l *lstmCell) inputSize() int     { return l.in }
+func (l *lstmCell) hiddenSize() int    { return l.hid }
+func (l *lstmCell) tensors() []*tensor { return []*tensor{l.wx, l.wh, l.b} }
+
+func (l *lstmCell) step(x []float64, st cellState) (cellState, any) {
+	H := l.hid
+	z := make([]float64, 4*H)
+	copy(z, l.b.W)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := l.wx.W[i*4*H : (i+1)*4*H]
+		for j, wv := range row {
+			z[j] += xv * wv
+		}
+	}
+	for i, hv := range st.h {
+		if hv == 0 {
+			continue
+		}
+		row := l.wh.W[i*4*H : (i+1)*4*H]
+		for j, wv := range row {
+			z[j] += hv * wv
+		}
+	}
+	cache := &lstmCache{
+		x: x, hPrev: st.h, cPrev: st.c,
+		i: make([]float64, H), f: make([]float64, H),
+		g: make([]float64, H), o: make([]float64, H),
+		c: make([]float64, H), tc: make([]float64, H),
+	}
+	h := make([]float64, H)
+	for j := 0; j < H; j++ {
+		cache.i[j] = sigmoid(z[j])
+		cache.f[j] = sigmoid(z[H+j])
+		cache.g[j] = math.Tanh(z[2*H+j])
+		cache.o[j] = sigmoid(z[3*H+j])
+		cache.c[j] = cache.f[j]*st.c[j] + cache.i[j]*cache.g[j]
+		cache.tc[j] = math.Tanh(cache.c[j])
+		h[j] = cache.o[j] * cache.tc[j]
+	}
+	return cellState{h: h, c: cache.c}, cache
+}
+
+func (l *lstmCell) back(cacheAny any, dst cellState) ([]float64, cellState) {
+	cache := cacheAny.(*lstmCache)
+	H := l.hid
+	dz := make([]float64, 4*H)
+	dcPrev := make([]float64, H)
+	for j := 0; j < H; j++ {
+		dh := dst.h[j]
+		do := dh * cache.tc[j]
+		dc := dst.c[j] + dh*cache.o[j]*(1-cache.tc[j]*cache.tc[j])
+		di := dc * cache.g[j]
+		df := dc * cache.cPrev[j]
+		dg := dc * cache.i[j]
+		dcPrev[j] = dc * cache.f[j]
+		dz[j] = di * cache.i[j] * (1 - cache.i[j])
+		dz[H+j] = df * cache.f[j] * (1 - cache.f[j])
+		dz[2*H+j] = dg * (1 - cache.g[j]*cache.g[j])
+		dz[3*H+j] = do * cache.o[j] * (1 - cache.o[j])
+	}
+	// Parameter gradients.
+	for j, d := range dz {
+		l.b.G[j] += d
+	}
+	dx := make([]float64, l.in)
+	for i, xv := range cache.x {
+		wrow := l.wx.W[i*4*H : (i+1)*4*H]
+		grow := l.wx.G[i*4*H : (i+1)*4*H]
+		var acc float64
+		for j, d := range dz {
+			grow[j] += d * xv
+			acc += d * wrow[j]
+		}
+		dx[i] = acc
+	}
+	dhPrev := make([]float64, H)
+	for i, hv := range cache.hPrev {
+		wrow := l.wh.W[i*4*H : (i+1)*4*H]
+		grow := l.wh.G[i*4*H : (i+1)*4*H]
+		var acc float64
+		for j, d := range dz {
+			grow[j] += d * hv
+			acc += d * wrow[j]
+		}
+		dhPrev[i] = acc
+	}
+	return dx, cellState{h: dhPrev, c: dcPrev}
+}
+
+// LSTM is the recurrent sequence model used by DynamicTRR (§4.2.2: "a
+// compact LSTM model with an input layer, two hidden layers, and a fully
+// connected layer") and as the Table 4 LSTM baseline.
+type LSTM struct {
+	Hidden    int     `json:"hidden"`
+	Layers    int     `json:"layers"`
+	LR        float64 `json:"lr"`
+	Epochs    int     `json:"epochs"`
+	BatchSize int     `json:"batch_size"`
+	// FineTuneEpochs controls how many passes FineTune runs (default 2).
+	FineTuneEpochs int   `json:"fine_tune_epochs"`
+	Seed           int64 `json:"seed"`
+
+	inputDim int
+	net      *seqNet
+}
+
+// NewLSTM returns an LSTM with the paper's two layers; hidden defaults to 16
+// when non-positive (kept compact per §6.4.3's finding that small networks
+// work best).
+func NewLSTM(hidden, layers int, seed int64) *LSTM {
+	if hidden <= 0 {
+		hidden = 16
+	}
+	if layers <= 0 {
+		layers = 2
+	}
+	return &LSTM{Hidden: hidden, Layers: layers, LR: 0.01, Epochs: 30, BatchSize: 16, FineTuneEpochs: 2, Seed: seed}
+}
+
+func (l *LSTM) build(inputDim int) {
+	l.inputDim = inputDim
+	var cells []cell
+	// One shared RNG via a throwaway seqNet would be circular; build the
+	// net first with empty layers is awkward, so seed a local source.
+	rng := newDetRand(l.Seed)
+	in := inputDim
+	for k := 0; k < l.Layers; k++ {
+		cells = append(cells, newLSTMCell(in, l.Hidden, rng))
+		in = l.Hidden
+	}
+	l.net = newSeqNet(cells, l.LR, l.Seed+1)
+}
+
+// FitSeq trains the network on windows with per-step targets.
+func (l *LSTM) FitSeq(seqs [][][]float64, targets [][]float64) error {
+	if len(seqs) == 0 {
+		return fmt.Errorf("neural: no training windows")
+	}
+	l.build(len(seqs[0][0]))
+	l.net.fitScalers(seqs, targets)
+	return l.net.trainWindows(seqs, targets, l.Epochs, l.BatchSize)
+}
+
+// FineTune runs a few additional epochs without re-initialising (§4.2.2:
+// per-window refinement when a measured reading arrives; §6.4.5 reports this
+// costs < 2 s).
+func (l *LSTM) FineTune(seqs [][][]float64, targets [][]float64) error {
+	if l.net == nil || !l.net.fitted {
+		return fmt.Errorf("neural: FineTune before FitSeq")
+	}
+	epochs := l.FineTuneEpochs
+	if epochs <= 0 {
+		epochs = 2
+	}
+	return l.net.trainWindows(seqs, targets, epochs, l.BatchSize)
+}
+
+// PredictSeq returns one prediction per window step.
+func (l *LSTM) PredictSeq(window [][]float64) []float64 {
+	if l.net == nil {
+		panic("neural: LSTM is not fitted")
+	}
+	return l.net.predictWindow(window)
+}
+
+var (
+	_ model.SeqRegressor = (*LSTM)(nil)
+	_ model.FineTuner    = (*LSTM)(nil)
+)
+
+// rnnState is the shared JSON schema for LSTM and GRU persistence.
+type rnnState struct {
+	Hidden   int           `json:"hidden"`
+	Layers   int           `json:"layers"`
+	LR       float64       `json:"lr"`
+	Epochs   int           `json:"epochs"`
+	Batch    int           `json:"batch_size"`
+	Seed     int64         `json:"seed"`
+	InputDim int           `json:"input_dim"`
+	Tensors  [][][]float64 `json:"tensors"` // per layer: wx, wh, b
+	Wy       []float64     `json:"wy"`
+	By       float64       `json:"by"`
+	XScaler  scalerND      `json:"x_scaler"`
+	YScaler  scaler1d      `json:"y_scaler"`
+}
+
+func (l *LSTM) snapshot() rnnState {
+	st := rnnState{
+		Hidden: l.Hidden, Layers: l.Layers, LR: l.LR, Epochs: l.Epochs,
+		Batch: l.BatchSize, Seed: l.Seed, InputDim: l.inputDim,
+		Wy: l.net.wy.W, By: l.net.by.W[0],
+		XScaler: l.net.xScaler, YScaler: l.net.yScaler,
+	}
+	for _, c := range l.net.layers {
+		lc := c.(*lstmCell)
+		st.Tensors = append(st.Tensors, [][]float64{lc.wx.W, lc.wh.W, lc.b.W})
+	}
+	return st
+}
+
+// Kind implements model.Persistable.
+func (l *LSTM) Kind() string { return "neural.lstm" }
+
+// MarshalState implements model.Persistable.
+func (l *LSTM) MarshalState() ([]byte, error) {
+	if l.net == nil {
+		return nil, fmt.Errorf("neural: marshal of unfitted LSTM")
+	}
+	return json.Marshal(l.snapshot())
+}
+
+func decodeLSTM(b []byte) (any, error) {
+	var st rnnState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, err
+	}
+	l := NewLSTM(st.Hidden, st.Layers, st.Seed)
+	l.LR, l.Epochs, l.BatchSize = st.LR, st.Epochs, st.Batch
+	l.build(st.InputDim)
+	for k, c := range l.net.layers {
+		lc := c.(*lstmCell)
+		copy(lc.wx.W, st.Tensors[k][0])
+		copy(lc.wh.W, st.Tensors[k][1])
+		copy(lc.b.W, st.Tensors[k][2])
+	}
+	copy(l.net.wy.W, st.Wy)
+	l.net.by.W[0] = st.By
+	l.net.xScaler, l.net.yScaler = st.XScaler, st.YScaler
+	l.net.fitted = true
+	return l, nil
+}
+
+func init() {
+	model.RegisterKind("neural.lstm", decodeLSTM)
+}

@@ -1,0 +1,214 @@
+package neural
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// cell is one recurrent layer's step function with backpropagation.
+// Implementations: lstmCell, gruCell.
+type cell interface {
+	// step advances one timestep: given input x and previous hidden state,
+	// it returns the new hidden state and an opaque cache for backprop.
+	step(x []float64, st cellState) (cellState, any)
+	// back consumes the cache and the gradients flowing into the produced
+	// state, accumulates parameter gradients, and returns gradients for the
+	// input and the previous state.
+	back(cache any, dst cellState) (dx []float64, dprev cellState)
+	// zeroState returns the initial (all-zero) state.
+	zeroState() cellState
+	// tensors exposes the layer's parameters for the optimizer.
+	tensors() []*tensor
+	// inputSize and hiddenSize describe the layer shape.
+	inputSize() int
+	hiddenSize() int
+}
+
+// cellState is a recurrent layer state: h for GRU, (h, c) for LSTM (c nil
+// for GRU).
+type cellState struct {
+	h []float64
+	c []float64
+}
+
+func (s cellState) clone() cellState {
+	out := cellState{h: append([]float64(nil), s.h...)}
+	if s.c != nil {
+		out.c = append([]float64(nil), s.c...)
+	}
+	return out
+}
+
+// seqNet is a stack of recurrent layers with a per-step linear readout,
+// trained on windows with full backpropagation through time. It backs both
+// the LSTM and GRU public types.
+type seqNet struct {
+	layers []cell
+	wy     *tensor // hidden × 1 readout
+	by     *tensor
+	opt    *adam
+	rng    *rand.Rand
+
+	xScaler scalerND
+	yScaler scaler1d
+	fitted  bool
+}
+
+func newSeqNet(layers []cell, lr float64, seed int64) *seqNet {
+	n := &seqNet{layers: layers, rng: rand.New(rand.NewSource(seed))}
+	h := layers[len(layers)-1].hiddenSize()
+	n.wy = newTensor(h, 1)
+	n.wy.initXavier(n.rng)
+	n.by = newTensor(1, 1)
+	var tensors []*tensor
+	for _, l := range layers {
+		tensors = append(tensors, l.tensors()...)
+	}
+	tensors = append(tensors, n.wy, n.by)
+	n.opt = newAdam(lr, tensors...)
+	return n
+}
+
+// stepCache stores everything needed to backprop one timestep.
+type stepCache struct {
+	layerCaches []any
+	lastH       []float64 // top layer output at this step
+}
+
+// forwardWindow runs a window through all layers, returning per-step
+// standardized predictions and the caches for BPTT.
+func (n *seqNet) forwardWindow(window [][]float64, train bool) (preds []float64, caches []stepCache, states []cellState) {
+	states = make([]cellState, len(n.layers))
+	for li, l := range n.layers {
+		states[li] = l.zeroState()
+	}
+	preds = make([]float64, len(window))
+	if train {
+		caches = make([]stepCache, len(window))
+	}
+	for t, raw := range window {
+		x := n.xScaler.fwd(raw)
+		var sc stepCache
+		if train {
+			sc.layerCaches = make([]any, len(n.layers))
+		}
+		for li, l := range n.layers {
+			var cache any
+			states[li], cache = l.step(x, states[li])
+			if train {
+				sc.layerCaches[li] = cache
+			}
+			x = states[li].h
+		}
+		if train {
+			sc.lastH = x
+			caches[t] = sc
+		}
+		var y float64
+		for i, hv := range x {
+			y += n.wy.W[i] * hv
+		}
+		y += n.by.W[0]
+		preds[t] = y
+	}
+	return preds, caches, states
+}
+
+// trainWindows runs epochs of BPTT over the given windows.
+func (n *seqNet) trainWindows(seqs [][][]float64, targets [][]float64, epochs, batch int) error {
+	if len(seqs) != len(targets) {
+		return fmt.Errorf("neural: %d windows vs %d target rows", len(seqs), len(targets))
+	}
+	if len(seqs) == 0 {
+		return fmt.Errorf("neural: no training windows")
+	}
+	for i, s := range seqs {
+		if len(s) != len(targets[i]) {
+			return fmt.Errorf("neural: window %d has %d steps but %d targets", i, len(s), len(targets[i]))
+		}
+	}
+	if batch <= 0 {
+		batch = 16
+	}
+	order := n.rng.Perm(len(seqs))
+	for e := 0; e < epochs; e++ {
+		n.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			steps := 0
+			for _, i := range order[start:end] {
+				steps += len(seqs[i])
+				n.backpropWindow(seqs[i], targets[i])
+			}
+			n.opt.Step(steps, 5)
+		}
+	}
+	n.fitted = true
+	return nil
+}
+
+// backpropWindow accumulates gradients for one window.
+func (n *seqNet) backpropWindow(window [][]float64, target []float64) {
+	preds, caches, _ := n.forwardWindow(window, true)
+	T := len(window)
+	// State gradients carried backward through time, one per layer.
+	dstates := make([]cellState, len(n.layers))
+	for li, l := range n.layers {
+		dstates[li] = l.zeroState()
+	}
+	for t := T - 1; t >= 0; t-- {
+		dy := preds[t] - n.yScaler.fwd(target[t])
+		// Readout gradients.
+		h := caches[t].lastH
+		for i, hv := range h {
+			n.wy.G[i] += dy * hv
+		}
+		n.by.G[0] += dy
+		// Gradient into the top layer's hidden output at step t: readout
+		// contribution plus the recurrent gradient from step t+1.
+		top := len(n.layers) - 1
+		for i := range dstates[top].h {
+			dstates[top].h[i] += dy * n.wy.W[i]
+		}
+		// Backprop through the layer stack.
+		var dxBelow []float64
+		for li := top; li >= 0; li-- {
+			if li < top {
+				for i := range dstates[li].h {
+					dstates[li].h[i] += dxBelow[i]
+				}
+			}
+			var dprev cellState
+			dxBelow, dprev = n.layers[li].back(caches[t].layerCaches[li], dstates[li])
+			dstates[li] = dprev
+		}
+	}
+}
+
+// predictWindow evaluates the network on a window, de-standardizing outputs.
+func (n *seqNet) predictWindow(window [][]float64) []float64 {
+	if !n.fitted {
+		panic("neural: sequence model is not fitted")
+	}
+	preds, _, _ := n.forwardWindow(window, false)
+	out := make([]float64, len(preds))
+	for i, p := range preds {
+		out[i] = n.yScaler.inv(p)
+	}
+	return out
+}
+
+// fitScalers computes the input/target scalers from the training windows.
+func (n *seqNet) fitScalers(seqs [][][]float64, targets [][]float64) {
+	var rows [][]float64
+	var ys []float64
+	for i, s := range seqs {
+		rows = append(rows, s...)
+		ys = append(ys, targets[i]...)
+	}
+	n.xScaler = fitScalerND(rows)
+	n.yScaler = fitScaler1d(ys)
+}

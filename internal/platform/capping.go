@@ -1,0 +1,114 @@
+package platform
+
+import (
+	"fmt"
+
+	"highrpm/internal/workload"
+)
+
+// CappingConfig drives the power-capping scenario of the paper's Fig. 1:
+// a monitor refreshes its power reading every ReadInterval seconds (PI) and
+// a governor enforces the cap every ActInterval seconds (AI) by stepping
+// the DVFS level.
+type CappingConfig struct {
+	// CapWatts is the node power cap.
+	CapWatts float64
+	// ReadInterval (PI) is the seconds between power-reading refreshes.
+	ReadInterval float64
+	// ActInterval (AI) is the seconds between governor actions.
+	ActInterval float64
+	// Margin is the hysteresis band below the cap within which the
+	// governor neither raises nor lowers frequency. The default, 30% of
+	// the cap, is sized to the coarse DVFS ladder: one level down moves
+	// CPU dynamic power by ~(f₁/f₀)^α ≈ 35%, so a narrower band makes the
+	// governor oscillate between levels and defeats the cap.
+	Margin float64
+	// MaxDuration bounds the simulation in case capping stalls progress.
+	MaxDuration float64
+}
+
+// CappingResult summarises a capped run.
+type CappingResult struct {
+	Trace *Trace
+	// Readings are the monitor's power readings (time, value).
+	Readings []Reading
+	// Actions records each governor decision: time and new frequency.
+	Actions []FreqAction
+	// EnergyJ is total node energy to completion, joules.
+	EnergyJ float64
+	// PeakW is the maximum instantaneous node power.
+	PeakW float64
+	// OverCapSeconds is the time spent above the cap.
+	OverCapSeconds float64
+	// CompletionSeconds is the wall time to program completion.
+	CompletionSeconds float64
+}
+
+// FreqAction is one governor decision.
+type FreqAction struct {
+	Time float64
+	Freq float64
+}
+
+// RunCapped executes the benchmark under the capping policy. The causal
+// loop is closed: stale readings (large PI) and slow actions (large AI) let
+// power overshoot the cap, raising peak power and total energy exactly as
+// Fig. 1 demonstrates.
+func RunCapped(n *Node, b workload.Benchmark, cfg CappingConfig) (*CappingResult, error) {
+	if cfg.CapWatts <= 0 {
+		return nil, fmt.Errorf("platform: cap must be positive")
+	}
+	if cfg.ReadInterval <= 0 || cfg.ActInterval <= 0 {
+		return nil, fmt.Errorf("platform: read/act intervals must be positive")
+	}
+	if cfg.Margin <= 0 {
+		cfg.Margin = 0.30 * cfg.CapWatts
+	}
+	if cfg.MaxDuration <= 0 {
+		cfg.MaxDuration = 4 * b.TotalDuration()
+		if cfg.MaxDuration < 600 {
+			cfg.MaxDuration = 600
+		}
+	}
+	dt := 1.0
+	n.Attach(b)
+	res := &CappingResult{Trace: &Trace{Benchmark: b.String(), Config: n.Config(), Dt: dt}}
+	var (
+		lastReading float64
+		nextReadAt  float64
+		nextActAt   float64
+		start       = true
+		elapsed     float64
+	)
+	for elapsed < cfg.MaxDuration && !n.Idle() {
+		s := n.Step(dt)
+		s.Time = elapsed
+		res.Trace.Samples = append(res.Trace.Samples, s)
+		res.EnergyJ += s.PNode * dt
+		if s.PNode > res.PeakW {
+			res.PeakW = s.PNode
+		}
+		if s.PNode > cfg.CapWatts {
+			res.OverCapSeconds += dt
+		}
+		if start || elapsed >= nextReadAt {
+			lastReading = s.PNode
+			res.Readings = append(res.Readings, Reading{Time: elapsed, Power: lastReading})
+			nextReadAt = elapsed + cfg.ReadInterval
+		}
+		if start || elapsed >= nextActAt {
+			switch {
+			case lastReading > cfg.CapWatts:
+				n.StepFrequency(-1)
+			case lastReading < cfg.CapWatts-cfg.Margin:
+				n.StepFrequency(+1)
+			}
+			res.Actions = append(res.Actions, FreqAction{Time: elapsed, Freq: n.Frequency()})
+			nextActAt = elapsed + cfg.ActInterval
+		}
+		start = false
+		elapsed += dt
+	}
+	res.CompletionSeconds = elapsed
+	return res, nil
+}

@@ -1,0 +1,103 @@
+package platform
+
+import (
+	"testing"
+
+	"highrpm/internal/workload"
+)
+
+func cappingBench(t *testing.T) workload.Benchmark {
+	t.Helper()
+	b := mustBench(t, "Graph500/bfs")
+	b.Repeat = 10
+	return b
+}
+
+func TestRunCappedValidation(t *testing.T) {
+	n := mustNode(t, ARMConfig(), 1)
+	b := cappingBench(t)
+	if _, err := RunCapped(n, b, CappingConfig{CapWatts: 0, ReadInterval: 1, ActInterval: 1}); err == nil {
+		t.Fatal("zero cap must fail")
+	}
+	if _, err := RunCapped(n, b, CappingConfig{CapWatts: 90, ReadInterval: 0, ActInterval: 1}); err == nil {
+		t.Fatal("zero read interval must fail")
+	}
+	if _, err := RunCapped(n, b, CappingConfig{CapWatts: 90, ReadInterval: 1, ActInterval: 0}); err == nil {
+		t.Fatal("zero act interval must fail")
+	}
+}
+
+func TestCappingReducesPeakPower(t *testing.T) {
+	b := cappingBench(t)
+	free := mustNode(t, ARMConfig(), 2)
+	uncapped := free.Run(b, 2000, 1)
+
+	capped := mustNode(t, ARMConfig(), 2)
+	res, err := RunCapped(capped, b, CappingConfig{CapWatts: 90, ReadInterval: 1, ActInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakW >= uncapped.PeakPower() {
+		t.Fatalf("capping did not reduce peak: %g vs %g", res.PeakW, uncapped.PeakPower())
+	}
+	// Over-cap time must be a small fraction of the run with 1 s reactions.
+	if res.OverCapSeconds > 0.35*res.CompletionSeconds {
+		t.Fatalf("over-cap %g s of %g s — governor ineffective", res.OverCapSeconds, res.CompletionSeconds)
+	}
+}
+
+func TestSlowerActionsRaisePeak(t *testing.T) {
+	b := cappingBench(t)
+	run := func(ai float64) *CappingResult {
+		n := mustNode(t, ARMConfig(), 3)
+		res, err := RunCapped(n, b, CappingConfig{CapWatts: 90, ReadInterval: 1, ActInterval: ai})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast, slow := run(1), run(30)
+	if slow.PeakW <= fast.PeakW {
+		t.Fatalf("AI=30 peak %g must exceed AI=1 peak %g (Fig. 1 shape)", slow.PeakW, fast.PeakW)
+	}
+	if slow.OverCapSeconds <= fast.OverCapSeconds {
+		t.Fatalf("AI=30 over-cap %g must exceed AI=1 %g", slow.OverCapSeconds, fast.OverCapSeconds)
+	}
+}
+
+func TestCappingExtendsRuntime(t *testing.T) {
+	b := cappingBench(t)
+	free := mustNode(t, ARMConfig(), 4)
+	uncapped := free.Run(b, 4000, 1)
+
+	n := mustNode(t, ARMConfig(), 4)
+	res, err := RunCapped(n, b, CappingConfig{CapWatts: 80, ReadInterval: 1, ActInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionSeconds <= uncapped.Duration() {
+		t.Fatalf("aggressive capping should slow the program: %g vs %g s",
+			res.CompletionSeconds, uncapped.Duration())
+	}
+}
+
+func TestCappingRecordsActionsAndReadings(t *testing.T) {
+	b := cappingBench(t)
+	n := mustNode(t, ARMConfig(), 5)
+	res, err := RunCapped(n, b, CappingConfig{CapWatts: 90, ReadInterval: 10, ActInterval: 10, MaxDuration: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Readings) == 0 || len(res.Actions) == 0 {
+		t.Fatal("no readings/actions recorded")
+	}
+	// ~200 s at one reading per 10 s.
+	if len(res.Readings) < 15 || len(res.Readings) > 25 {
+		t.Fatalf("%d readings over 200 s at PI=10", len(res.Readings))
+	}
+	for _, a := range res.Actions {
+		if a.Freq < 1.4 || a.Freq > 2.2 {
+			t.Fatalf("action frequency %g outside DVFS range", a.Freq)
+		}
+	}
+}

@@ -1,0 +1,417 @@
+// Package platform simulates the compute-node hardware the paper measures:
+// the ARM multi-core node with BMC-attached power chip (§5.1–5.2) and the
+// Tianhe-1A-like x86/RAPL cluster node (§6.3).
+//
+// The simulator is the substitution for real hardware documented in
+// DESIGN.md: it produces ground-truth component power (P_CPU, P_MEM,
+// P_Other), node power as their sum plus sensor noise, and the ten Table 2
+// PMC events as noisy nonlinear functions of the same workload state. A
+// thermal-leakage process adds power variation that is invisible to the
+// counters, which is what limits PMC-only power models in practice.
+package platform
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"highrpm/internal/pmu"
+	"highrpm/internal/workload"
+)
+
+// Config describes a node model.
+type Config struct {
+	Name  string
+	Arch  string // "arm64" or "x86_64"
+	Cores int
+	// FreqLevels are the DVFS operating points in GHz, ascending.
+	FreqLevels []float64
+	// CPUIdle/CPUDyn: P_CPU = CPUIdle + CPUDyn·activity·(f/fmax)^Alpha + leakage.
+	CPUIdle float64
+	CPUDyn  float64
+	// MemIdle/MemDyn: P_MEM = MemIdle + MemDyn·traffic.
+	MemIdle float64
+	MemDyn  float64
+	// Other is the near-constant peripheral power (§5.2: 25 W ± <1 W).
+	Other float64
+	// Alpha is the dynamic-power frequency exponent.
+	Alpha float64
+	// PMCNoise is the multiplicative read-noise sigma on every counter.
+	PMCNoise float64
+	// NodeNoise/CompNoise are gaussian sigmas (W) on the node power process
+	// and the component power processes.
+	NodeNoise float64
+	CompNoise float64
+	// LeakGain scales the thermal-leakage power (W per Kelvin above ambient).
+	LeakGain float64
+	// WanderCPU and WanderMEM are the stationary standard deviations (W) of
+	// the slow Ornstein–Uhlenbeck power wander on each component — voltage
+	// regulation and temperature effects that power sensors see but PMCs do
+	// not. The wander is what gives trend-following models (spline, TRR)
+	// their edge over PMC-only models.
+	WanderCPU float64
+	WanderMEM float64
+	// WanderTau is the wander time constant in seconds.
+	WanderTau float64
+}
+
+// MaxFreq returns the highest DVFS level.
+func (c Config) MaxFreq() float64 { return c.FreqLevels[len(c.FreqLevels)-1] }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("platform: %s: cores must be positive", c.Name)
+	}
+	if len(c.FreqLevels) == 0 {
+		return fmt.Errorf("platform: %s: no frequency levels", c.Name)
+	}
+	for i := 1; i < len(c.FreqLevels); i++ {
+		if c.FreqLevels[i] <= c.FreqLevels[i-1] {
+			return fmt.Errorf("platform: %s: frequency levels must ascend", c.Name)
+		}
+	}
+	if c.CPUDyn <= 0 || c.MemDyn <= 0 {
+		return fmt.Errorf("platform: %s: dynamic power ranges must be positive", c.Name)
+	}
+	return nil
+}
+
+// ARMConfig models the paper's evaluation platform: a 64-core ARMv8 node
+// with 128 GB DDR4 behind a BMC, DVFS levels 1.4/1.8/2.2 GHz (§5.1, §6.4.2).
+func ARMConfig() Config {
+	return Config{
+		Name:       "arm64-node",
+		Arch:       "arm64",
+		Cores:      64,
+		FreqLevels: []float64{1.4, 1.8, 2.2},
+		CPUIdle:    12, CPUDyn: 55,
+		MemIdle: 8, MemDyn: 35,
+		Other: 25, Alpha: 2.2,
+		PMCNoise: 0.12, NodeNoise: 0.8, CompNoise: 0.4,
+		LeakGain:  0.35,
+		WanderCPU: 6.5, WanderMEM: 1.0, WanderTau: 20,
+	}
+}
+
+// X86Config models the §6.3 cluster node: dual Intel Xeon E5-2660 v2
+// (2×10 cores, 2.6 GHz turbo ladder) with RAPL support. The higher clock and
+// noise make modeling slightly harder, as the paper observes.
+func X86Config() Config {
+	return Config{
+		Name:       "x86-node",
+		Arch:       "x86_64",
+		Cores:      20,
+		FreqLevels: []float64{1.2, 1.7, 2.2, 2.6},
+		CPUIdle:    28, CPUDyn: 110,
+		MemIdle: 12, MemDyn: 48,
+		Other: 30, Alpha: 2.0,
+		PMCNoise: 0.10, NodeNoise: 1.2, CompNoise: 0.6,
+		LeakGain:  0.45,
+		WanderCPU: 5.0, WanderMEM: 1.8, WanderTau: 18,
+	}
+}
+
+// Sample is one simulation step's full ground truth.
+type Sample struct {
+	Time     float64 // seconds since run start
+	PCPU     float64 // watts
+	PMEM     float64
+	POther   float64
+	PNode    float64
+	Freq     float64 // GHz
+	Counters pmu.Counters
+	State    workload.State
+}
+
+// Trace is a completed run at fixed step dt.
+type Trace struct {
+	Benchmark string
+	Config    Config
+	Dt        float64
+	Samples   []Sample
+}
+
+// Duration returns the trace length in seconds.
+func (t *Trace) Duration() float64 { return float64(len(t.Samples)) * t.Dt }
+
+// NodePower returns the ground-truth node power series.
+func (t *Trace) NodePower() []float64 {
+	out := make([]float64, len(t.Samples))
+	for i, s := range t.Samples {
+		out[i] = s.PNode
+	}
+	return out
+}
+
+// CPUPower returns the ground-truth CPU power series.
+func (t *Trace) CPUPower() []float64 {
+	out := make([]float64, len(t.Samples))
+	for i, s := range t.Samples {
+		out[i] = s.PCPU
+	}
+	return out
+}
+
+// MemPower returns the ground-truth memory power series.
+func (t *Trace) MemPower() []float64 {
+	out := make([]float64, len(t.Samples))
+	for i, s := range t.Samples {
+		out[i] = s.PMEM
+	}
+	return out
+}
+
+// Times returns the sample timestamps.
+func (t *Trace) Times() []float64 {
+	out := make([]float64, len(t.Samples))
+	for i, s := range t.Samples {
+		out[i] = s.Time
+	}
+	return out
+}
+
+// Energy integrates node power over the trace, in joules.
+func (t *Trace) Energy() float64 {
+	var e float64
+	for _, s := range t.Samples {
+		e += s.PNode * t.Dt
+	}
+	return e
+}
+
+// PeakPower returns the maximum node power of the trace.
+func (t *Trace) PeakPower() float64 {
+	var p float64
+	for _, s := range t.Samples {
+		if s.PNode > p {
+			p = s.PNode
+		}
+	}
+	return p
+}
+
+// Node is a running node simulation. It is not safe for concurrent use; the
+// cluster layer gives each node its own goroutine.
+type Node struct {
+	cfg  Config
+	rng  *rand.Rand
+	inst *workload.Instance
+	t    float64
+	freq float64
+
+	// Thermal state for the leakage process (not PMC-visible).
+	temp    float64 // Kelvin above ambient
+	otherLP float64 // low-pass wander of peripheral power
+	ouCPU   float64 // OU wander state, CPU domain
+	ouMEM   float64 // OU wander state, memory domain
+}
+
+// NewNode creates a node with the given configuration and noise seed.
+func NewNode(cfg Config, seed int64) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Node{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+		freq: cfg.MaxFreq(),
+	}, nil
+}
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Attach starts a workload on the node, replacing any current one. The
+// instance's noise stream derives from the node seed and benchmark name.
+func (n *Node) Attach(b workload.Benchmark) {
+	n.inst = workload.NewInstance(b, n.rng.Int63())
+}
+
+// Frequency returns the current DVFS level in GHz.
+func (n *Node) Frequency() float64 { return n.freq }
+
+// SetFrequency switches to the given DVFS level, which must be one of the
+// configured operating points.
+func (n *Node) SetFrequency(ghz float64) error {
+	for _, f := range n.cfg.FreqLevels {
+		if f == ghz {
+			n.freq = ghz
+			return nil
+		}
+	}
+	return fmt.Errorf("platform: %s: no DVFS level %.2f GHz (have %v)", n.cfg.Name, ghz, n.cfg.FreqLevels)
+}
+
+// StepFrequency moves one DVFS level up (dir > 0) or down (dir < 0),
+// saturating at the ends, and returns the new level.
+func (n *Node) StepFrequency(dir int) float64 {
+	cur := 0
+	for i, f := range n.cfg.FreqLevels {
+		if f == n.freq {
+			cur = i
+			break
+		}
+	}
+	switch {
+	case dir > 0 && cur < len(n.cfg.FreqLevels)-1:
+		cur++
+	case dir < 0 && cur > 0:
+		cur--
+	}
+	n.freq = n.cfg.FreqLevels[cur]
+	return n.freq
+}
+
+// Idle reports whether no workload is attached or it has finished.
+func (n *Node) Idle() bool { return n.inst == nil || n.inst.Done() }
+
+// Step advances the simulation by dt seconds and returns the ground truth
+// for the interval.
+func (n *Node) Step(dt float64) Sample {
+	cfg := n.cfg
+	fRel := n.freq / cfg.MaxFreq()
+	var st workload.State
+	if n.inst != nil && !n.inst.Done() {
+		st = n.inst.Advance(dt, fRel)
+	}
+	// Activity blends raw utilisation with instruction throughput so that
+	// two workloads with equal utilisation but different IPC draw different
+	// power — the nonlinearity PMC models must learn.
+	activity := 0.7*st.Util + 0.3*st.Util*math.Min(st.IPC, 3.2)/3.2
+
+	// Thermal leakage: first-order RC toward a temperature proportional to
+	// dynamic power; leakage power follows temperature. PMCs cannot see it.
+	cpuScale := st.CPUPowerScale
+	if cpuScale == 0 {
+		cpuScale = 1
+	}
+	memScale := st.MemPowerScale
+	if memScale == 0 {
+		memScale = 1
+	}
+	dyn := cfg.CPUDyn * activity * cpuScale * math.Pow(fRel, cfg.Alpha)
+	targetTemp := dyn * 0.45 // K above ambient at steady state
+	tau := 25.0              // thermal time constant, seconds
+	n.temp += (targetTemp - n.temp) * dt / tau
+	leak := cfg.LeakGain * n.temp
+
+	// Slow OU wander, the PMC-invisible power variation (see Config). The
+	// stationary sigma scales with fRel³ — voltage rides with frequency and
+	// regulation/di-dt noise grows roughly with V²·f — which is why the
+	// paper finds higher frequencies harder to model (§6.4.2).
+	wtau := cfg.WanderTau
+	if wtau <= 0 {
+		wtau = 20
+	}
+	wScale := fRel * fRel * fRel
+	n.ouCPU += -n.ouCPU*dt/wtau + cfg.WanderCPU*wScale*math.Sqrt(2*dt/wtau)*n.rng.NormFloat64()
+	n.ouMEM += -n.ouMEM*dt/wtau + cfg.WanderMEM*wScale*math.Sqrt(2*dt/wtau)*n.rng.NormFloat64()
+
+	// The CPU and memory domains share a voltage rail and heatsink, so a
+	// slice of the CPU-domain wander and leakage also appears in DRAM
+	// power. This shared component is why P_Node correlates strongly with
+	// P_MEM (§4.3) — observing the node total lets a model subtract the
+	// shared drift, which PMCs alone cannot see.
+	pcpu := cfg.CPUIdle + dyn + leak + n.ouCPU + n.rng.NormFloat64()*cfg.CompNoise
+	pmem := cfg.MemIdle + cfg.MemDyn*st.Mem*memScale + n.ouMEM + 0.30*n.ouCPU + 0.08*leak +
+		n.rng.NormFloat64()*cfg.CompNoise*0.6
+	// Peripheral power wanders within ±~0.5 W (§5.2).
+	n.otherLP += (n.rng.NormFloat64()*0.1 - n.otherLP*0.05) * dt
+	if n.otherLP > 0.5 {
+		n.otherLP = 0.5
+	}
+	if n.otherLP < -0.5 {
+		n.otherLP = -0.5
+	}
+	pother := cfg.Other + n.otherLP
+	if pcpu < cfg.CPUIdle*0.5 {
+		pcpu = cfg.CPUIdle * 0.5
+	}
+	if pmem < cfg.MemIdle*0.5 {
+		pmem = cfg.MemIdle * 0.5
+	}
+	pnode := pcpu + pmem + pother + n.rng.NormFloat64()*cfg.NodeNoise
+
+	s := Sample{
+		Time: n.t, PCPU: pcpu, PMEM: pmem, POther: pother, PNode: pnode,
+		Freq: n.freq, State: st,
+	}
+	s.Counters = n.counters(st, fRel)
+	n.t += dt
+	return s
+}
+
+// counters produces the aggregated per-second PMC rates for the current
+// state, with multiplicative read noise and occasional outliers (§1:
+// "PMC readings can be noisy").
+func (n *Node) counters(st workload.State, fRel float64) pmu.Counters {
+	cfg := n.cfg
+	noisy := func(v float64) float64 {
+		v *= 1 + n.rng.NormFloat64()*cfg.PMCNoise
+		if n.rng.Float64() < 0.01 { // rare read glitch
+			v *= 1 + 0.5*n.rng.Float64()
+		}
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	freqHz := n.freq * 1e9
+	activeCycles := float64(cfg.Cores) * st.Util * freqHz
+	inst := activeCycles * st.IPC
+	var c pmu.Counters
+	c.Set(pmu.CPUCycles, noisy(activeCycles))
+	c.Set(pmu.InstRetired, noisy(inst))
+	c.Set(pmu.BrPred, noisy(inst*st.BranchFrac))
+	c.Set(pmu.UopRetired, noisy(inst*1.35))
+	c.Set(pmu.L1ICacheLD, noisy(inst*0.92))
+	c.Set(pmu.L1ICacheST, noisy(inst*0.02))
+	c.Set(pmu.LxDCacheLD, noisy(inst*(0.22+0.30*st.Mem)))
+	c.Set(pmu.LxDCacheST, noisy(inst*(0.09+0.14*st.Mem)))
+	// Memory-side counters track traffic, not core speed.
+	busPeak := 4.0e9 * float64(cfg.Cores) / 64
+	memPeak := 2.5e9 * float64(cfg.Cores) / 64
+	_ = fRel
+	c.Set(pmu.BusAccess, noisy(st.Mem*busPeak))
+	c.Set(pmu.MemAccess, noisy(st.Mem*memPeak))
+	return c
+}
+
+// Run attaches the benchmark and simulates until it completes or maxDur
+// seconds elapse (whichever is first), sampling every dt seconds.
+func (n *Node) Run(b workload.Benchmark, maxDur, dt float64) *Trace {
+	if dt <= 0 {
+		dt = 1
+	}
+	n.Attach(b)
+	tr := &Trace{Benchmark: b.String(), Config: n.cfg, Dt: dt}
+	start := n.t
+	for n.t-start < maxDur && !n.Idle() {
+		s := n.Step(dt)
+		s.Time -= start
+		tr.Samples = append(tr.Samples, s)
+	}
+	return tr
+}
+
+// RunFor simulates for exactly dur seconds, looping the benchmark if it
+// finishes early; dataset generation uses this to collect fixed-length
+// traces per program.
+func (n *Node) RunFor(b workload.Benchmark, dur, dt float64) *Trace {
+	if dt <= 0 {
+		dt = 1
+	}
+	n.Attach(b)
+	tr := &Trace{Benchmark: b.String(), Config: n.cfg, Dt: dt}
+	start := n.t
+	for n.t-start < dur {
+		if n.Idle() {
+			n.Attach(b) // loop the program
+		}
+		s := n.Step(dt)
+		s.Time -= start
+		tr.Samples = append(tr.Samples, s)
+	}
+	return tr
+}

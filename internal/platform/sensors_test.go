@@ -1,0 +1,148 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func traceFor(t *testing.T, dur float64, seed int64) *Trace {
+	t.Helper()
+	n := mustNode(t, ARMConfig(), seed)
+	return n.RunFor(mustBench(t, "HPCC/FFT"), dur, 1)
+}
+
+func TestIPMIReadingCadence(t *testing.T) {
+	tr := traceFor(t, 100, 1)
+	s := NewIPMISensor(10, 2)
+	rds := s.Readings(tr)
+	if len(rds) != 10 {
+		t.Fatalf("100 s at 0.1 Sa/s must give 10 readings, got %d", len(rds))
+	}
+	// Readings become visible after the read-out latency.
+	if rds[0].Time != s.Latency {
+		t.Fatalf("first reading at %g want %g", rds[0].Time, s.Latency)
+	}
+	for i := 1; i < len(rds); i++ {
+		if gap := rds[i].Time - rds[i-1].Time; math.Abs(gap-10) > 1e-9 {
+			t.Fatalf("reading gap = %g want 10", gap)
+		}
+	}
+}
+
+func TestIPMIReadingAccuracy(t *testing.T) {
+	tr := traceFor(t, 300, 3)
+	s := NewIPMISensor(10, 4)
+	var sumErr float64
+	rds := s.Readings(tr)
+	for i, r := range rds {
+		truth := tr.Samples[i*10].PNode
+		sumErr += math.Abs(r.Power - truth)
+	}
+	avg := sumErr / float64(len(rds))
+	// 1 W gaussian + 1 W quantisation: mean abs error well under 3 W.
+	if avg > 3 {
+		t.Fatalf("mean IPMI error %g W too high", avg)
+	}
+	if avg == 0 {
+		t.Fatal("IPMI must not be a perfect sensor")
+	}
+}
+
+func TestIPMIQuantisation(t *testing.T) {
+	tr := traceFor(t, 50, 5)
+	s := NewIPMISensor(10, 6)
+	for _, r := range s.Readings(tr) {
+		if r.Power != math.Trunc(r.Power) {
+			t.Fatalf("reading %g not quantised to 1 W", r.Power)
+		}
+	}
+}
+
+func TestIPMIJitterShiftsTimes(t *testing.T) {
+	tr := traceFor(t, 200, 7)
+	s := NewIPMISensor(10, 8)
+	s.Jitter = 3
+	var jittered bool
+	for _, r := range s.Readings(tr) {
+		off := math.Mod(r.Time-s.Latency, 10)
+		if off > 1e-9 && off < 10-1e-9 {
+			jittered = true
+		}
+	}
+	if !jittered {
+		t.Fatal("jittered sensor produced perfectly periodic readings")
+	}
+}
+
+func TestIPMIRateAndString(t *testing.T) {
+	s := NewIPMISensor(10, 1)
+	if s.Rate() != 0.1 {
+		t.Fatalf("Rate = %g want 0.1", s.Rate())
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestDirectProbeAccuracy(t *testing.T) {
+	tr := traceFor(t, 200, 9)
+	p := NewDirectProbe(10)
+	pcpu, pmem := p.ComponentPower(tr)
+	if len(pcpu) != 200 || len(pmem) != 200 {
+		t.Fatalf("probe lengths %d/%d want 200", len(pcpu), len(pmem))
+	}
+	var maxErr float64
+	for i := range pcpu {
+		if e := math.Abs(pcpu[i] - tr.Samples[i].PCPU); e > maxErr {
+			maxErr = e
+		}
+	}
+	// 0.1 W gaussian: max error over 200 samples stays below ~0.5 W.
+	if maxErr > 0.6 {
+		t.Fatalf("direct probe max error %g W, paper says 0.1 W class", maxErr)
+	}
+}
+
+func TestRAPLEnergyMonotone(t *testing.T) {
+	n := mustNode(t, X86Config(), 11)
+	tr := n.RunFor(mustBench(t, "HPCG/hpcg"), 120, 1)
+	r := NewRAPL(12)
+	pkg, ram := r.EnergyCounters(tr)
+	if len(pkg) != 120 {
+		t.Fatalf("pkg energy has %d entries", len(pkg))
+	}
+	for i := 1; i < len(pkg); i++ {
+		if pkg[i] <= pkg[i-1] || ram[i] <= ram[i-1] {
+			t.Fatal("energy counters must be strictly increasing under load")
+		}
+	}
+}
+
+func TestRAPLPowerMatchesGroundTruth(t *testing.T) {
+	n := mustNode(t, X86Config(), 13)
+	tr := n.RunFor(mustBench(t, "HPCC/DGEMM"), 150, 1)
+	r := NewRAPL(14)
+	pkg, _ := r.Power(tr)
+	var sumErr float64
+	for i := range pkg {
+		sumErr += math.Abs(pkg[i] - tr.Samples[i].PCPU)
+	}
+	if avg := sumErr / float64(len(pkg)); avg > 1.5 {
+		t.Fatalf("RAPL mean error %g W too high", avg)
+	}
+}
+
+func TestSparsify(t *testing.T) {
+	series := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	idx, vals := Sparsify(series, 5)
+	if len(idx) != 3 || idx[0] != 0 || idx[1] != 5 || idx[2] != 10 {
+		t.Fatalf("Sparsify idx = %v", idx)
+	}
+	if vals[1] != 5 {
+		t.Fatalf("Sparsify vals = %v", vals)
+	}
+	idx, _ = Sparsify(series, 0) // clamps to 1
+	if len(idx) != len(series) {
+		t.Fatal("k=0 must keep everything")
+	}
+}

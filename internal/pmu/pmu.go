@@ -1,0 +1,85 @@
+// Package pmu defines the hardware performance-counter events HighRPM uses
+// as model features (paper Table 2) and the sampled-counter types shared by
+// the platform simulator and the dataset layer.
+//
+// On the paper's ARM platform the events are collected by a loadable kernel
+// module at 1 Sa/s and aggregated across per-core counters (§5.2); here the
+// platform simulator produces the same aggregated per-second event rates.
+package pmu
+
+import "fmt"
+
+// Event identifies one performance-counter event.
+type Event int
+
+// The ten PMC events of paper Table 2, in feature order.
+const (
+	CPUCycles   Event = iota // CPU_CYCLES: core clock cycles
+	InstRetired              // INST_RETIRED: architecturally retired instructions
+	BrPred                   // BR_PRED: predicted branch instructions
+	UopRetired               // UOP_RETIRED: retired micro-operations
+	L1ICacheLD               // L1I_CACHE_LD: L1 instruction-cache load accesses
+	L1ICacheST               // L1I_CACHE_ST: L1 instruction-cache store accesses
+	LxDCacheLD               // LxD_CACHE_LD: unified data-cache load accesses
+	LxDCacheST               // LxD_CACHE_ST: unified data-cache store accesses
+	BusAccess                // BUS_ACCESS: interconnect bus accesses
+	MemAccess                // MEM_ACCESS: main-memory accesses
+	numEvents
+)
+
+// NumEvents is the number of defined PMC events.
+const NumEvents = int(numEvents)
+
+var names = [...]string{
+	"CPU_CYCLES", "INST_RETIRED", "BR_PRED", "UOP_RETIRED",
+	"L1I_CACHE_LD", "L1I_CACHE_ST", "LxD_CACHE_LD", "LxD_CACHE_ST",
+	"BUS_ACCESS", "MEM_ACCESS",
+}
+
+// String returns the canonical event mnemonic.
+func (e Event) String() string {
+	if e < 0 || int(e) >= NumEvents {
+		return fmt.Sprintf("PMU_EVENT(%d)", int(e))
+	}
+	return names[e]
+}
+
+// Unit describes the hardware unit an event is attributed to (Table 2).
+func (e Event) Unit() string {
+	switch e {
+	case CPUCycles, InstRetired, BrPred, UopRetired, L1ICacheLD, L1ICacheST:
+		return "Core"
+	case LxDCacheLD, LxDCacheST:
+		return "Lx Cache"
+	case BusAccess, MemAccess:
+		return "Main Memory"
+	default:
+		return "Unknown"
+	}
+}
+
+// EventNames returns the mnemonics in feature order.
+func EventNames() []string {
+	out := make([]string, NumEvents)
+	for i := range out {
+		out[i] = Event(i).String()
+	}
+	return out
+}
+
+// Counters holds one second's aggregated event rates (events per second,
+// summed over cores).
+type Counters [NumEvents]float64
+
+// Get returns the value of event e.
+func (c *Counters) Get(e Event) float64 { return c[e] }
+
+// Set assigns the value of event e.
+func (c *Counters) Set(e Event, v float64) { c[e] = v }
+
+// Slice returns the counter values as a feature slice (a copy).
+func (c *Counters) Slice() []float64 {
+	out := make([]float64, NumEvents)
+	copy(out, c[:])
+	return out
+}

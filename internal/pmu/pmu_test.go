@@ -1,0 +1,64 @@
+package pmu
+
+import "testing"
+
+func TestEventNamesMatchTable2(t *testing.T) {
+	names := EventNames()
+	if len(names) != 10 {
+		t.Fatalf("Table 2 defines 10 events, got %d", len(names))
+	}
+	want := map[string]bool{
+		"CPU_CYCLES": true, "INST_RETIRED": true, "BR_PRED": true,
+		"UOP_RETIRED": true, "L1I_CACHE_LD": true, "L1I_CACHE_ST": true,
+		"LxD_CACHE_LD": true, "LxD_CACHE_ST": true,
+		"BUS_ACCESS": true, "MEM_ACCESS": true,
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected event %q", n)
+		}
+	}
+}
+
+func TestEventUnits(t *testing.T) {
+	cases := map[Event]string{
+		CPUCycles:   "Core",
+		InstRetired: "Core",
+		LxDCacheLD:  "Lx Cache",
+		BusAccess:   "Main Memory",
+		MemAccess:   "Main Memory",
+	}
+	for e, want := range cases {
+		if got := e.Unit(); got != want {
+			t.Fatalf("%s unit = %q want %q", e, got, want)
+		}
+	}
+	if Event(99).Unit() != "Unknown" {
+		t.Fatal("out-of-range unit")
+	}
+}
+
+func TestEventStringOutOfRange(t *testing.T) {
+	if Event(-1).String() == "" || Event(1000).String() == "" {
+		t.Fatal("out-of-range String must not be empty")
+	}
+}
+
+func TestCountersGetSetSlice(t *testing.T) {
+	var c Counters
+	c.Set(MemAccess, 42)
+	if c.Get(MemAccess) != 42 {
+		t.Fatal("Get/Set broken")
+	}
+	s := c.Slice()
+	if s[int(MemAccess)] != 42 {
+		t.Fatal("Slice content wrong")
+	}
+	s[int(MemAccess)] = 0
+	if c.Get(MemAccess) != 42 {
+		t.Fatal("Slice must copy")
+	}
+	if len(s) != NumEvents {
+		t.Fatalf("Slice length %d want %d", len(s), NumEvents)
+	}
+}

@@ -1,0 +1,198 @@
+// Package stats implements the error metrics the paper reports for every
+// model comparison — MAPE, RMSE, MAE and the coefficient of determination R²
+// (§5.5) — plus small online summary helpers used by the monitoring service.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metrics bundles the four accuracy metrics used throughout the evaluation.
+type Metrics struct {
+	MAPE float64 // mean absolute percentage error, in percent
+	RMSE float64 // root mean squared error, in the unit of the target (W)
+	MAE  float64 // mean absolute error, in the unit of the target (W)
+	R2   float64 // coefficient of determination
+	N    int     // number of scored points
+}
+
+// String renders the metrics the way the paper's tables do.
+func (m Metrics) String() string {
+	return fmt.Sprintf("MAPE=%.2f%% RMSE=%.2f MAE=%.2f R2=%.3f (n=%d)", m.MAPE, m.RMSE, m.MAE, m.R2, m.N)
+}
+
+// Evaluate scores predictions against observations. Pairs where the
+// observation is zero are excluded from MAPE (division by zero) but included
+// in the other metrics, matching common practice.
+func Evaluate(observed, predicted []float64) Metrics {
+	if len(observed) != len(predicted) {
+		panic(fmt.Sprintf("stats: length mismatch %d vs %d", len(observed), len(predicted)))
+	}
+	if len(observed) == 0 {
+		return Metrics{}
+	}
+	var (
+		sumAPE  float64
+		nAPE    int
+		sumSq   float64
+		sumAbs  float64
+		sumObs  float64
+		present int
+	)
+	for i, o := range observed {
+		p := predicted[i]
+		if math.IsNaN(o) || math.IsNaN(p) {
+			continue
+		}
+		present++
+		d := p - o
+		sumSq += d * d
+		sumAbs += math.Abs(d)
+		sumObs += o
+		if o != 0 {
+			sumAPE += math.Abs(d / o)
+			nAPE++
+		}
+	}
+	if present == 0 {
+		return Metrics{}
+	}
+	m := Metrics{
+		RMSE: math.Sqrt(sumSq / float64(present)),
+		MAE:  sumAbs / float64(present),
+		N:    present,
+	}
+	if nAPE > 0 {
+		m.MAPE = 100 * sumAPE / float64(nAPE)
+	}
+	// R² = 1 − SS_res/SS_tot.
+	mean := sumObs / float64(present)
+	var ssTot float64
+	for i, o := range observed {
+		if math.IsNaN(o) || math.IsNaN(predicted[i]) {
+			continue
+		}
+		d := o - mean
+		ssTot += d * d
+	}
+	if ssTot > 0 {
+		m.R2 = 1 - sumSq/ssTot
+	}
+	return m
+}
+
+// MAPE is a convenience wrapper returning only the MAPE of Evaluate.
+func MAPE(observed, predicted []float64) float64 { return Evaluate(observed, predicted).MAPE }
+
+// RMSE is a convenience wrapper returning only the RMSE of Evaluate.
+func RMSE(observed, predicted []float64) float64 { return Evaluate(observed, predicted).RMSE }
+
+// MAE is a convenience wrapper returning only the MAE of Evaluate.
+func MAE(observed, predicted []float64) float64 { return Evaluate(observed, predicted).MAE }
+
+// Average returns the element-wise mean of several Metrics, used to report
+// the mean over the seven Table 3 train/test combinations.
+func Average(ms []Metrics) Metrics {
+	if len(ms) == 0 {
+		return Metrics{}
+	}
+	var out Metrics
+	for _, m := range ms {
+		out.MAPE += m.MAPE
+		out.RMSE += m.RMSE
+		out.MAE += m.MAE
+		out.R2 += m.R2
+		out.N += m.N
+	}
+	k := float64(len(ms))
+	out.MAPE /= k
+	out.RMSE /= k
+	out.MAE /= k
+	out.R2 /= k
+	return out
+}
+
+// Running accumulates streaming mean/min/max/variance (Welford) for the
+// monitoring service's per-sensor summaries.
+type Running struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Push adds an observation.
+func (r *Running) Push(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations pushed.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min returns the smallest observation (0 if none).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation (0 if none).
+func (r *Running) Max() float64 { return r.max }
+
+// Std returns the running population standard deviation.
+func (r *Running) Std() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return math.Sqrt(r.m2 / float64(r.n))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of v using linear
+// interpolation between order statistics. v is not modified.
+func Quantile(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(v))
+	copy(s, v)
+	insertionSort(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+func insertionSort(v []float64) {
+	// Quantile inputs in this repo are short windows; a branch-light
+	// insertion sort beats sort.Float64s allocation-wise at these sizes.
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] > x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+}

@@ -1,0 +1,183 @@
+// Package tracefile persists and replays monitoring traces as CSV. It is
+// the bridge between live collection and offline analysis: highrpm-trace
+// writes these files, highrpm-analyze restores them with StaticTRR, and
+// operators can feed logs from real collectors in the same layout.
+//
+// Column layout (header required):
+//
+//	time_s, p_node_w, p_cpu_w, p_mem_w, p_other_w, freq_ghz, ipmi_w,
+//	<the ten Table 2 PMC events>
+//
+// p_cpu_w/p_mem_w/p_other_w are optional ground truth (empty when the rig
+// is absent); ipmi_w is non-empty only on seconds with an IM reading.
+package tracefile
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"highrpm/internal/dataset"
+	"highrpm/internal/platform"
+	"highrpm/internal/pmu"
+)
+
+// Row is one second of a persisted trace.
+type Row struct {
+	Time   float64
+	PNode  float64 // NaN when unknown
+	PCPU   float64 // NaN when unknown
+	PMEM   float64 // NaN when unknown
+	POther float64 // NaN when unknown
+	Freq   float64 // NaN when unknown
+	// IPMI is the IM reading visible this second; NaN otherwise.
+	IPMI float64
+	PMC  [pmu.NumEvents]float64
+}
+
+// File is a parsed trace file.
+type File struct {
+	Rows []Row
+}
+
+// Header returns the canonical column names.
+func Header() []string {
+	h := []string{"time_s", "p_node_w", "p_cpu_w", "p_mem_w", "p_other_w", "freq_ghz", "ipmi_w"}
+	return append(h, pmu.EventNames()...)
+}
+
+// Write serialises a platform trace plus its sensor readings.
+func Write(w io.Writer, tr *platform.Trace, readings []platform.Reading) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(Header()); err != nil {
+		return err
+	}
+	readingAt := map[int]float64{}
+	for _, r := range readings {
+		readingAt[int(r.Time/tr.Dt)] = r.Power
+	}
+	for i, s := range tr.Samples {
+		row := []string{
+			fmtFloat(s.Time), fmtFloat(s.PNode), fmtFloat(s.PCPU),
+			fmtFloat(s.PMEM), fmtFloat(s.POther), fmtFloat(s.Freq),
+		}
+		if v, ok := readingAt[i]; ok {
+			row = append(row, fmtFloat(v))
+		} else {
+			row = append(row, "")
+		}
+		for _, c := range s.Counters.Slice() {
+			row = append(row, strconv.FormatFloat(c, 'g', 10, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// Read parses a trace file, validating the header and field counts.
+func Read(r io.Reader) (*File, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(Header())
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: header: %w", err)
+	}
+	want := Header()
+	for i, h := range header {
+		if h != want[i] {
+			return nil, fmt.Errorf("tracefile: column %d is %q, want %q", i, h, want[i])
+		}
+	}
+	f := &File{}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: line %d: %w", line+1, err)
+		}
+		line++
+		var row Row
+		row.Time, err = parseFloat(rec[0], false)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: line %d time: %w", line, err)
+		}
+		fields := []*float64{&row.PNode, &row.PCPU, &row.PMEM, &row.POther, &row.Freq, &row.IPMI}
+		for k, dst := range fields {
+			*dst, err = parseFloat(rec[1+k], true)
+			if err != nil {
+				return nil, fmt.Errorf("tracefile: line %d column %s: %w", line, want[1+k], err)
+			}
+		}
+		for e := 0; e < pmu.NumEvents; e++ {
+			v, err := parseFloat(rec[7+e], false)
+			if err != nil {
+				return nil, fmt.Errorf("tracefile: line %d column %s: %w", line, want[7+e], err)
+			}
+			row.PMC[e] = v
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	if len(f.Rows) == 0 {
+		return nil, fmt.Errorf("tracefile: no data rows")
+	}
+	return f, nil
+}
+
+func parseFloat(s string, optional bool) (float64, error) {
+	if s == "" {
+		if optional {
+			return math.NaN(), nil
+		}
+		return 0, fmt.Errorf("empty required field")
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Dataset converts the file into a model-ready set. Missing ground truth
+// stays NaN; the metrics layer skips NaN observations.
+func (f *File) Dataset(suite, bench string) *dataset.Set {
+	out := &dataset.Set{}
+	for _, r := range f.Rows {
+		out.Samples = append(out.Samples, dataset.Sample{
+			Time:  r.Time,
+			PMC:   append([]float64(nil), r.PMC[:]...),
+			PNode: r.PNode,
+			PCPU:  r.PCPU,
+			PMEM:  r.PMEM,
+		})
+		out.Suites = append(out.Suites, suite)
+		out.Benchmarks = append(out.Benchmarks, bench)
+	}
+	return out
+}
+
+// Readings extracts the IM readings (index, value) recorded in the file.
+func (f *File) Readings() (idx []int, vals []float64) {
+	for i, r := range f.Rows {
+		if !math.IsNaN(r.IPMI) {
+			idx = append(idx, i)
+			vals = append(vals, r.IPMI)
+		}
+	}
+	return idx, vals
+}
+
+// HasGroundTruth reports whether every row carries node power.
+func (f *File) HasGroundTruth() bool {
+	for _, r := range f.Rows {
+		if math.IsNaN(r.PNode) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package tracefile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"highrpm/internal/platform"
+	"highrpm/internal/workload"
+)
+
+func sampleTrace(t *testing.T) (*platform.Trace, []platform.Reading) {
+	t.Helper()
+	node, err := platform.NewNode(platform.ARMConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.Find("HPCC/FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := node.RunFor(b, 60, 1)
+	sensor := platform.NewIPMISensor(10, 2)
+	return tr, sensor.Readings(tr)
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr, readings := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, readings); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 60 {
+		t.Fatalf("%d rows want 60", len(f.Rows))
+	}
+	// Power round-trips to the 3-decimal precision of the writer.
+	for i, r := range f.Rows {
+		if math.Abs(r.PNode-tr.Samples[i].PNode) > 0.001 {
+			t.Fatalf("row %d PNode %g vs %g", i, r.PNode, tr.Samples[i].PNode)
+		}
+	}
+	idx, vals := f.Readings()
+	if len(idx) != len(readings) {
+		t.Fatalf("%d readings want %d", len(idx), len(readings))
+	}
+	if len(vals) > 0 && math.Abs(vals[0]-readings[0].Power) > 0.001 {
+		t.Fatalf("reading value %g vs %g", vals[0], readings[0].Power)
+	}
+	if !f.HasGroundTruth() {
+		t.Fatal("simulated trace must carry ground truth")
+	}
+}
+
+func TestDatasetConversion(t *testing.T) {
+	tr, readings := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, readings); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := f.Dataset("HPCC", "FFT")
+	if set.Len() != 60 {
+		t.Fatalf("dataset len %d", set.Len())
+	}
+	if len(set.Samples[0].PMC) != 10 {
+		t.Fatal("PMC width wrong")
+	}
+	if set.Suites[0] != "HPCC" || set.Benchmarks[0] != "FFT" {
+		t.Fatal("tags wrong")
+	}
+}
+
+func TestReadRejectsBadHeader(t *testing.T) {
+	if _, err := Read(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Fatal("expected header error")
+	}
+}
+
+func TestReadRejectsWrongFieldCount(t *testing.T) {
+	head := strings.Join(Header(), ",")
+	if _, err := Read(strings.NewReader(head + "\n1,2\n")); err == nil {
+		t.Fatal("expected field-count error")
+	}
+}
+
+func TestReadRejectsEmpty(t *testing.T) {
+	head := strings.Join(Header(), ",")
+	if _, err := Read(strings.NewReader(head + "\n")); err == nil {
+		t.Fatal("expected no-rows error")
+	}
+}
+
+func TestReadOptionalFields(t *testing.T) {
+	// A log from a real collector: no component ground truth, no IPMI on
+	// most rows.
+	head := strings.Join(Header(), ",")
+	rows := head + "\n"
+	rows += "0.000,90.0,,,,2.2,90.5,1,2,3,4,5,6,7,8,9,10\n"
+	rows += "1.000,91.0,,,,2.2,,1,2,3,4,5,6,7,8,9,10\n"
+	f, err := Read(strings.NewReader(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(f.Rows[0].PCPU) {
+		t.Fatal("missing PCPU should be NaN")
+	}
+	idx, _ := f.Readings()
+	if len(idx) != 1 || idx[0] != 0 {
+		t.Fatalf("readings = %v", idx)
+	}
+	if f.HasGroundTruth() != true {
+		t.Fatal("node power present on all rows")
+	}
+}
+
+func TestReadRejectsGarbageNumbers(t *testing.T) {
+	head := strings.Join(Header(), ",")
+	rows := head + "\nnope,90,,,,2.2,,1,2,3,4,5,6,7,8,9,10\n"
+	if _, err := Read(strings.NewReader(rows)); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

@@ -1,0 +1,30 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"highrpm/internal/mat"
+)
+
+func BenchmarkFitLarge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, c := 7000, 11
+	x := mat.NewDense(n, c)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewRegressor()
+		tr.MinSamplesLeaf = 3
+		tr.MaxDepth = 16
+		if err := tr.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

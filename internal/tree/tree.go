@@ -1,0 +1,424 @@
+// Package tree implements the CART regression tree used both as the
+// Table 4 "DT" baseline and as StaticTRR's ResModel (§4.2.1 — "we tested
+// all the linear and nonlinear methods ... but found that DT worked best"),
+// plus the Random Forest and Gradient Boosting ensembles built on it.
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"highrpm/internal/mat"
+	"highrpm/internal/model"
+)
+
+// Node is one node of a serialised regression tree. Leaves have Feature == -1.
+type Node struct {
+	Feature   int     `json:"feature"`             // split feature, -1 for leaf
+	Threshold float64 `json:"threshold,omitempty"` // go left when x ≤ threshold
+	Left      int32   `json:"left,omitempty"`      // child indices into Nodes
+	Right     int32   `json:"right,omitempty"`
+	Value     float64 `json:"value"` // leaf prediction (mean of targets)
+}
+
+// Regressor is a CART regression tree minimising squared error, grown
+// depth-first with variance-reduction splits.
+type Regressor struct {
+	MaxDepth       int `json:"max_depth"`        // 0 means unbounded
+	MinSamplesLeaf int `json:"min_samples_leaf"` // defaults to 1
+	// MaxFeatures limits the features considered per split; 0 means all.
+	// Random Forest sets this for decorrelation.
+	MaxFeatures int    `json:"max_features"`
+	Seed        int64  `json:"seed"`
+	Nodes       []Node `json:"nodes"`
+
+	rng *rand.Rand
+}
+
+// NewRegressor returns a tree with scikit-like defaults
+// (criterion=squared_error, unbounded depth, min_samples_leaf=1).
+func NewRegressor() *Regressor { return &Regressor{MinSamplesLeaf: 1} }
+
+// workspace carries the presorted CART state: for every feature, the
+// sample indices of the current node's range sorted by that feature. The
+// arrays are stable-partitioned on each split, so no node ever re-sorts —
+// total work is O(n·features·depth) instead of O(n log n·features·nodes).
+type workspace struct {
+	x *mat.Dense
+	y []float64
+	// sorted[j][lo:hi] holds the node's samples ordered by feature j.
+	sorted [][]int32
+	// scratch buffers the right-hand side during stable partitions.
+	scratch []int32
+	// left flags per sample index whether it goes to the left child.
+	left []bool
+}
+
+// Fit grows the tree on the rows of x against targets y.
+func (t *Regressor) Fit(x *mat.Dense, y []float64) error {
+	r, c := x.Dims()
+	if r != len(y) {
+		return fmt.Errorf("tree: %d rows vs %d targets", r, len(y))
+	}
+	if r == 0 {
+		return fmt.Errorf("tree: empty training set")
+	}
+	if t.MinSamplesLeaf <= 0 {
+		t.MinSamplesLeaf = 1
+	}
+	t.rng = rand.New(rand.NewSource(t.Seed))
+	ws := &workspace{
+		x: x, y: y,
+		sorted:  make([][]int32, c),
+		scratch: make([]int32, r),
+		left:    make([]bool, r),
+	}
+	for j := 0; j < c; j++ {
+		idx := make([]int32, r)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return x.At(int(idx[a]), j) < x.At(int(idx[b]), j)
+		})
+		ws.sorted[j] = idx
+	}
+	t.Nodes = t.Nodes[:0]
+	t.grow(ws, 0, r, 1)
+	return nil
+}
+
+// grow builds the subtree over the presorted range [lo, hi) and returns its
+// node index.
+func (t *Regressor) grow(ws *workspace, lo, hi, depth int) int32 {
+	n := hi - lo
+	mean, sse := meanSSE(ws, lo, hi)
+	id := int32(len(t.Nodes))
+	t.Nodes = append(t.Nodes, Node{Feature: -1, Value: mean})
+	if n < 2*t.MinSamplesLeaf || sse <= 1e-12 {
+		return id
+	}
+	if t.MaxDepth > 0 && depth >= t.MaxDepth {
+		return id
+	}
+	feat, thr, gain := t.bestSplit(ws, lo, hi, sse)
+	if feat < 0 || gain <= 0 {
+		return id
+	}
+	mid := t.partition(ws, lo, hi, feat, thr)
+	if mid-lo < t.MinSamplesLeaf || hi-mid < t.MinSamplesLeaf {
+		return id
+	}
+	left := t.grow(ws, lo, mid, depth+1)
+	right := t.grow(ws, mid, hi, depth+1)
+	t.Nodes[id] = Node{Feature: feat, Threshold: thr, Left: left, Right: right, Value: mean}
+	return id
+}
+
+func meanSSE(ws *workspace, lo, hi int) (mean, sse float64) {
+	var s float64
+	for _, i := range ws.sorted[0][lo:hi] {
+		s += ws.y[i]
+	}
+	mean = s / float64(hi-lo)
+	for _, i := range ws.sorted[0][lo:hi] {
+		d := ws.y[i] - mean
+		sse += d * d
+	}
+	return mean, sse
+}
+
+// bestSplit scans candidate features for the split maximising variance
+// reduction over the presorted range.
+func (t *Regressor) bestSplit(ws *workspace, lo, hi int, parentSSE float64) (feat int, thr, gain float64) {
+	_, cols := ws.x.Dims()
+	features := make([]int, cols)
+	for j := range features {
+		features[j] = j
+	}
+	if t.MaxFeatures > 0 && t.MaxFeatures < cols {
+		t.rng.Shuffle(cols, func(a, b int) { features[a], features[b] = features[b], features[a] })
+		features = features[:t.MaxFeatures]
+	}
+	n := hi - lo
+	var sumAll, sumSqAll float64
+	for _, i := range ws.sorted[0][lo:hi] {
+		sumAll += ws.y[i]
+		sumSqAll += ws.y[i] * ws.y[i]
+	}
+	feat = -1
+	for _, j := range features {
+		order := ws.sorted[j][lo:hi]
+		// Prefix scan: evaluate every boundary between distinct values.
+		var sumL, sumSqL float64
+		for k := 0; k < n-1; k++ {
+			yi := ws.y[order[k]]
+			sumL += yi
+			sumSqL += yi * yi
+			xv := ws.x.At(int(order[k]), j)
+			nx := ws.x.At(int(order[k+1]), j)
+			if nx <= xv {
+				continue // cannot split between equal values
+			}
+			nl := float64(k + 1)
+			nr := float64(n - k - 1)
+			if int(nl) < t.MinSamplesLeaf || int(nr) < t.MinSamplesLeaf {
+				continue
+			}
+			sseL := sumSqL - sumL*sumL/nl
+			sumR := sumAll - sumL
+			sseR := (sumSqAll - sumSqL) - sumR*sumR/nr
+			g := parentSSE - sseL - sseR
+			if g > gain {
+				gain = g
+				feat = j
+				thr = 0.5 * (xv + nx)
+			}
+		}
+	}
+	return feat, thr, gain
+}
+
+// partition stable-partitions every feature's presorted range so left-child
+// samples (x[feat] ≤ thr) precede right-child samples while each side stays
+// sorted, returning the boundary index.
+func (t *Regressor) partition(ws *workspace, lo, hi, feat int, thr float64) int {
+	for _, i := range ws.sorted[feat][lo:hi] {
+		ws.left[i] = ws.x.At(int(i), feat) <= thr
+	}
+	mid := lo
+	for _, arr := range ws.sorted {
+		seg := arr[lo:hi]
+		right := ws.scratch[:0]
+		w := 0
+		for _, i := range seg {
+			if ws.left[i] {
+				seg[w] = i
+				w++
+			} else {
+				right = append(right, i)
+			}
+		}
+		copy(seg[w:], right)
+		mid = lo + w
+	}
+	return mid
+}
+
+// Predict walks the tree for one feature vector.
+func (t *Regressor) Predict(features []float64) float64 {
+	if len(t.Nodes) == 0 {
+		panic("tree: model is not fitted")
+	}
+	id := int32(0)
+	for {
+		n := t.Nodes[id]
+		if n.Feature < 0 {
+			return n.Value
+		}
+		if features[n.Feature] <= n.Threshold {
+			id = n.Left
+		} else {
+			id = n.Right
+		}
+	}
+}
+
+// Depth returns the maximum depth of the fitted tree (root = 1).
+func (t *Regressor) Depth() int {
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	var walk func(id int32) int
+	walk = func(id int32) int {
+		n := t.Nodes[id]
+		if n.Feature < 0 {
+			return 1
+		}
+		l, r := walk(n.Left), walk(n.Right)
+		if l > r {
+			return 1 + l
+		}
+		return 1 + r
+	}
+	return walk(0)
+}
+
+// Forest is a bagged ensemble of regression trees (Table 4: RF, 10 trees).
+type Forest struct {
+	NumTrees    int          `json:"num_trees"`
+	MaxDepth    int          `json:"max_depth"`
+	MaxFeatures int          `json:"max_features"` // 0: ceil(cols/3), sklearn-style for regression
+	Seed        int64        `json:"seed"`
+	Trees       []*Regressor `json:"trees"`
+}
+
+// NewForest returns a Random Forest with the paper's 10 trees.
+func NewForest(numTrees int, seed int64) *Forest {
+	if numTrees <= 0 {
+		numTrees = 10
+	}
+	return &Forest{NumTrees: numTrees, Seed: seed}
+}
+
+// Fit grows NumTrees trees on bootstrap resamples of (x, y).
+func (f *Forest) Fit(x *mat.Dense, y []float64) error {
+	r, c := x.Dims()
+	if r != len(y) {
+		return fmt.Errorf("tree: %d rows vs %d targets", r, len(y))
+	}
+	maxFeat := f.MaxFeatures
+	if maxFeat <= 0 {
+		maxFeat = (c + 2) / 3
+		if maxFeat < 1 {
+			maxFeat = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	f.Trees = make([]*Regressor, f.NumTrees)
+	for k := range f.Trees {
+		// Bootstrap sample.
+		bx := mat.NewDense(r, c)
+		by := make([]float64, r)
+		for i := 0; i < r; i++ {
+			j := rng.Intn(r)
+			copy(bx.Row(i), x.Row(j))
+			by[i] = y[j]
+		}
+		t := NewRegressor()
+		t.MaxDepth = f.MaxDepth
+		t.MaxFeatures = maxFeat
+		t.Seed = rng.Int63()
+		if err := t.Fit(bx, by); err != nil {
+			return fmt.Errorf("tree: forest member %d: %w", k, err)
+		}
+		f.Trees[k] = t
+	}
+	return nil
+}
+
+// Predict averages the member trees.
+func (f *Forest) Predict(features []float64) float64 {
+	if len(f.Trees) == 0 {
+		panic("tree: forest is not fitted")
+	}
+	var s float64
+	for _, t := range f.Trees {
+		s += t.Predict(features)
+	}
+	return s / float64(len(f.Trees))
+}
+
+// GradientBoosting is a squared-error gradient-boosted tree ensemble
+// (Table 4: GB, 10 trees).
+type GradientBoosting struct {
+	NumTrees     int          `json:"num_trees"`
+	LearningRate float64      `json:"learning_rate"`
+	MaxDepth     int          `json:"max_depth"`
+	Seed         int64        `json:"seed"`
+	Base         float64      `json:"base"`
+	Trees        []*Regressor `json:"trees"`
+}
+
+// NewGradientBoosting returns a GB ensemble with the paper's 10 trees and
+// scikit-like defaults (learning_rate=0.1, max_depth=3).
+func NewGradientBoosting(numTrees int, seed int64) *GradientBoosting {
+	if numTrees <= 0 {
+		numTrees = 10
+	}
+	return &GradientBoosting{NumTrees: numTrees, LearningRate: 0.1, MaxDepth: 3, Seed: seed}
+}
+
+// Fit builds the stage-wise ensemble on squared-error residuals.
+func (g *GradientBoosting) Fit(x *mat.Dense, y []float64) error {
+	r, _ := x.Dims()
+	if r != len(y) {
+		return fmt.Errorf("tree: %d rows vs %d targets", r, len(y))
+	}
+	if g.LearningRate <= 0 {
+		g.LearningRate = 0.1
+	}
+	if g.MaxDepth <= 0 {
+		g.MaxDepth = 3
+	}
+	g.Base = mat.Mean(y)
+	resid := make([]float64, r)
+	pred := make([]float64, r)
+	for i := range pred {
+		pred[i] = g.Base
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	g.Trees = make([]*Regressor, 0, g.NumTrees)
+	for k := 0; k < g.NumTrees; k++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		t := NewRegressor()
+		t.MaxDepth = g.MaxDepth
+		t.MinSamplesLeaf = 2
+		t.Seed = rng.Int63()
+		if err := t.Fit(x, resid); err != nil {
+			return fmt.Errorf("tree: boosting stage %d: %w", k, err)
+		}
+		g.Trees = append(g.Trees, t)
+		for i := 0; i < r; i++ {
+			pred[i] += g.LearningRate * t.Predict(x.Row(i))
+		}
+	}
+	return nil
+}
+
+// Predict sums the stage predictions.
+func (g *GradientBoosting) Predict(features []float64) float64 {
+	if len(g.Trees) == 0 {
+		panic("tree: boosting model is not fitted")
+	}
+	s := g.Base
+	for _, t := range g.Trees {
+		s += g.LearningRate * t.Predict(features)
+	}
+	return s
+}
+
+// --- persistence -----------------------------------------------------------
+
+// Kind implements model.Persistable.
+func (t *Regressor) Kind() string { return "tree.regressor" }
+
+// MarshalState implements model.Persistable.
+func (t *Regressor) MarshalState() ([]byte, error) { return json.Marshal(t) }
+
+// Kind implements model.Persistable.
+func (f *Forest) Kind() string { return "tree.forest" }
+
+// MarshalState implements model.Persistable.
+func (f *Forest) MarshalState() ([]byte, error) { return json.Marshal(f) }
+
+// Kind implements model.Persistable.
+func (g *GradientBoosting) Kind() string { return "tree.gboost" }
+
+// MarshalState implements model.Persistable.
+func (g *GradientBoosting) MarshalState() ([]byte, error) { return json.Marshal(g) }
+
+func init() {
+	model.RegisterKind("tree.regressor", func(b []byte) (any, error) {
+		m := &Regressor{}
+		return m, json.Unmarshal(b, m)
+	})
+	model.RegisterKind("tree.forest", func(b []byte) (any, error) {
+		m := &Forest{}
+		return m, json.Unmarshal(b, m)
+	})
+	model.RegisterKind("tree.gboost", func(b []byte) (any, error) {
+		m := &GradientBoosting{}
+		return m, json.Unmarshal(b, m)
+	})
+}
+
+var (
+	_ model.Regressor = (*Regressor)(nil)
+	_ model.Regressor = (*Forest)(nil)
+	_ model.Regressor = (*GradientBoosting)(nil)
+)

@@ -1,0 +1,285 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Suite names used throughout the evaluation (paper Table 3).
+const (
+	SuiteSPEC     = "SPEC"
+	SuitePARSEC   = "PARSEC"
+	SuiteHPCC     = "HPCC"
+	SuiteGraph500 = "Graph500"
+	SuiteHPLAI    = "HPL-AI"
+	SuiteSMG2000  = "SMG2000"
+	SuiteHPCG     = "HPCG"
+)
+
+// SuiteNames returns the seven suites in the paper's order.
+func SuiteNames() []string {
+	return []string{SuiteSPEC, SuitePARSEC, SuiteHPCC, SuiteGraph500, SuiteHPLAI, SuiteSMG2000, SuiteHPCG}
+}
+
+var specNames = []string{
+	// SPECspeed 2017 integer and floating point.
+	"600.perlbench_s", "602.gcc_s", "605.mcf_s", "620.omnetpp_s", "623.xalancbmk_s",
+	"625.x264_s", "631.deepsjeng_s", "641.leela_s", "648.exchange2_s", "657.xz_s",
+	"603.bwaves_s", "607.cactuBSSN_s", "619.lbm_s", "621.wrf_s", "627.cam4_s",
+	"628.pop2_s", "638.imagick_s", "644.nab_s", "649.fotonik3d_s", "654.roms_s",
+	// SPECrate 2017 integer and floating point.
+	"500.perlbench_r", "502.gcc_r", "505.mcf_r", "520.omnetpp_r", "523.xalancbmk_r",
+	"525.x264_r", "531.deepsjeng_r", "541.leela_r", "548.exchange2_r", "557.xz_r",
+	"503.bwaves_r", "507.cactuBSSN_r", "508.namd_r", "510.parest_r", "511.povray_r",
+	"519.lbm_r", "521.wrf_r", "526.blender_r", "527.cam4_r", "538.imagick_r",
+	"544.nab_r", "549.fotonik3d_r", "554.roms_r",
+}
+
+var parsecNames = []string{
+	"blackscholes", "bodytrack", "canneal", "dedup", "facesim", "ferret",
+	"fluidanimate", "freqmine", "raytrace", "streamcluster", "swaptions", "vips", "x264",
+	"splash2x.barnes", "splash2x.fmm", "splash2x.ocean_cp", "splash2x.ocean_ncp",
+	"splash2x.radiosity", "splash2x.raytrace", "splash2x.volrend",
+	"splash2x.water_nsquared", "splash2x.water_spatial", "splash2x.cholesky",
+	"splash2x.fft", "splash2x.lu_cb", "splash2x.lu_ncb", "splash2x.radix",
+	"netapps.netdedup", "netapps.netferret", "netapps.netstreamcluster",
+	"blackscholes.large", "canneal.large", "fluidanimate.large",
+	"streamcluster.large", "freqmine.large", "facesim.large",
+}
+
+var hpccNames = []string{
+	"HPL", "DGEMM", "PTRANS", "RandomAccess", "FFT", "STREAM",
+	"LatencyBandwidth", "StarDGEMM", "SingleFFT", "StarSTREAM",
+	"MPIRandomAccess", "SingleDGEMM",
+}
+
+// memIntensive classifies HPCC kernels whose power is DRAM-dominated.
+var hpccMemBound = map[string]bool{
+	"STREAM": true, "StarSTREAM": true, "PTRANS": true,
+	"RandomAccess": true, "MPIRandomAccess": true, "LatencyBandwidth": true,
+}
+
+// Suite returns all 96 benchmarks of §5.3: SPEC(43), PARSEC(36), HPCC(12),
+// Graph500(2), HPL-AI(1), SMG2000(1), HPCG(1). Generation is deterministic:
+// every benchmark's phase program is derived from its name.
+func Suite() []Benchmark {
+	var out []Benchmark
+	for _, n := range specNames {
+		out = append(out, specBenchmark(n))
+	}
+	for _, n := range parsecNames {
+		out = append(out, parsecBenchmark(n))
+	}
+	for _, n := range hpccNames {
+		out = append(out, hpccBenchmark(n))
+	}
+	out = append(out,
+		graph500Benchmark("bfs"),
+		graph500Benchmark("sssp"),
+		hplAIBenchmark(),
+		smg2000Benchmark(),
+		hpcgBenchmark(),
+	)
+	for i := range out {
+		out[i] = withPowerCharacter(out[i])
+	}
+	return out
+}
+
+// withPowerCharacter assigns the benchmark's PMC-invisible power factors —
+// each program draws per-instruction CPU energy and per-access DRAM energy
+// from a deterministic distribution keyed by its name. These factors are
+// what makes PMC-only power models fragile on unseen programs while
+// node-power-aware models transfer (§6.1.1, §6.2.1).
+func withPowerCharacter(b Benchmark) Benchmark {
+	r := nameRNG("power/" + b.String())
+	cpu := 0.55 + 0.90*r.Float64()
+	mem := 0.85 + 0.30*r.Float64()
+	for i := range b.Phases {
+		b.Phases[i].CPUPowerFactor = cpu
+		b.Phases[i].MemPowerFactor = mem
+	}
+	return b
+}
+
+// BySuite groups the full suite by suite name.
+func BySuite() map[string][]Benchmark {
+	out := map[string][]Benchmark{}
+	for _, b := range Suite() {
+		out[b.Suite] = append(out[b.Suite], b)
+	}
+	return out
+}
+
+// Find returns the benchmark with the given name (suite-qualified names such
+// as "HPCC/FFT" are also accepted).
+func Find(name string) (Benchmark, error) {
+	for _, b := range Suite() {
+		if b.Name == name || b.String() == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// nameRNG derives a deterministic noise source from a benchmark name, so
+// every member of a suite gets its own stable character.
+func nameRNG(name string) *rand.Rand {
+	return rand.New(rand.NewSource(int64(hashName(name))))
+}
+
+func specBenchmark(name string) Benchmark {
+	r := nameRNG("spec/" + name)
+	fp := name[0] == '5' && name[1] == '0' || name[0] == '6' && name[1] == '0' // crude fp-heavy marker
+	util := 0.60 + 0.35*r.Float64()
+	ipc := 1.2 + 1.2*r.Float64()
+	mem := 0.10 + 0.35*r.Float64()
+	if fp {
+		ipc += 0.4
+		mem += 0.10
+	}
+	return Benchmark{
+		Name:  name,
+		Suite: SuiteSPEC,
+		Phases: []Phase{{
+			Duration:   180 + 120*r.Float64(),
+			Util:       util,
+			IPC:        ipc,
+			Mem:        mem,
+			LoopPeriod: 20 + 40*r.Float64(),
+			LoopAmp:    0.05 + 0.08*r.Float64(),
+			SpikeRate:  0.02 + 0.03*r.Float64(),
+			SpikeAmp:   0.10 + 0.15*r.Float64(),
+			BranchFrac: 0.12 + 0.08*r.Float64(),
+		}},
+		Repeat: 1,
+	}
+}
+
+func parsecBenchmark(name string) Benchmark {
+	r := nameRNG("parsec/" + name)
+	// Parallel region / barrier structure: alternate a hot phase with a
+	// short synchronisation lull.
+	hot := Phase{
+		Duration:   40 + 50*r.Float64(),
+		Util:       0.80 + 0.18*r.Float64(),
+		IPC:        1.4 + 1.0*r.Float64(),
+		Mem:        0.15 + 0.45*r.Float64(),
+		LoopPeriod: 8 + 15*r.Float64(),
+		LoopAmp:    0.08 + 0.10*r.Float64(),
+		SpikeRate:  0.03 + 0.05*r.Float64(),
+		SpikeAmp:   0.10 + 0.10*r.Float64(),
+		BranchFrac: 0.10 + 0.06*r.Float64(),
+	}
+	barrier := Phase{
+		Duration:   5 + 8*r.Float64(),
+		Util:       0.25 + 0.15*r.Float64(),
+		IPC:        0.8,
+		Mem:        0.10 + 0.10*r.Float64(),
+		BranchFrac: 0.15,
+	}
+	return Benchmark{Name: name, Suite: SuitePARSEC, Phases: []Phase{hot, barrier}, Repeat: 4}
+}
+
+func hpccBenchmark(name string) Benchmark {
+	r := nameRNG("hpcc/" + name)
+	var p Phase
+	if hpccMemBound[name] {
+		p = Phase{
+			Duration:   150 + 60*r.Float64(),
+			Util:       0.30 + 0.15*r.Float64(),
+			IPC:        0.5 + 0.3*r.Float64(),
+			Mem:        0.80 + 0.18*r.Float64(),
+			LoopPeriod: 15 + 10*r.Float64(),
+			LoopAmp:    0.04 + 0.04*r.Float64(),
+			SpikeRate:  0.02,
+			SpikeAmp:   0.08,
+			BranchFrac: 0.08,
+		}
+	} else {
+		p = Phase{
+			Duration:   150 + 60*r.Float64(),
+			Util:       0.88 + 0.10*r.Float64(),
+			IPC:        2.2 + 0.8*r.Float64(),
+			Mem:        0.12 + 0.15*r.Float64(),
+			LoopPeriod: 25 + 15*r.Float64(),
+			LoopAmp:    0.04 + 0.05*r.Float64(),
+			SpikeRate:  0.015,
+			SpikeAmp:   0.08,
+			BranchFrac: 0.06,
+		}
+	}
+	// FFT flavours alternate transform (compute) and transpose (memory).
+	if name == "FFT" || name == "SingleFFT" {
+		compute := p
+		compute.Util, compute.Mem, compute.IPC = 0.85, 0.35, 2.0
+		compute.Duration = 30
+		transpose := p
+		transpose.Util, transpose.Mem, transpose.IPC = 0.45, 0.75, 0.8
+		transpose.Duration = 15
+		return Benchmark{Name: name, Suite: SuiteHPCC, Phases: []Phase{compute, transpose}, Repeat: 6}
+	}
+	return Benchmark{Name: name, Suite: SuiteHPCC, Phases: []Phase{p}, Repeat: 1}
+}
+
+func graph500Benchmark(kernel string) Benchmark {
+	r := nameRNG("graph500/" + kernel)
+	// BFS/SSSP: irregular, memory-heavy traversal with bursty frontier
+	// expansion — the Fig. 1 motivating workload with pronounced spikes.
+	traverse := Phase{
+		Duration:   25 + 10*r.Float64(),
+		Util:       0.55,
+		IPC:        0.7,
+		Mem:        0.70,
+		LoopPeriod: 6,
+		LoopAmp:    0.12,
+		SpikeRate:  0.12,
+		SpikeAmp:   0.30,
+		BranchFrac: 0.20,
+	}
+	compact := Phase{
+		Duration:   8,
+		Util:       0.85,
+		IPC:        1.6,
+		Mem:        0.35,
+		SpikeRate:  0.05,
+		SpikeAmp:   0.15,
+		BranchFrac: 0.12,
+	}
+	return Benchmark{Name: kernel, Suite: SuiteGraph500, Phases: []Phase{traverse, compact}, Repeat: 10}
+}
+
+func hplAIBenchmark() Benchmark {
+	// Mixed-precision LU: near-peak compute with a short panel phase.
+	factor := Phase{
+		Duration: 60, Util: 0.96, IPC: 3.2, Mem: 0.20,
+		LoopPeriod: 30, LoopAmp: 0.03, SpikeRate: 0.01, SpikeAmp: 0.05, BranchFrac: 0.04,
+	}
+	panel := Phase{
+		Duration: 10, Util: 0.70, IPC: 1.8, Mem: 0.40, BranchFrac: 0.08,
+	}
+	return Benchmark{Name: "hpl-ai", Suite: SuiteHPLAI, Phases: []Phase{factor, panel}, Repeat: 5}
+}
+
+func smg2000Benchmark() Benchmark {
+	// Semicoarsening multigrid: V-cycles alternating smoothing (memory)
+	// and restriction/prolongation (compute), strongly periodic.
+	smooth := Phase{
+		Duration: 20, Util: 0.50, IPC: 0.9, Mem: 0.70,
+		LoopPeriod: 10, LoopAmp: 0.10, SpikeRate: 0.03, SpikeAmp: 0.12, BranchFrac: 0.10,
+	}
+	transfer := Phase{
+		Duration: 10, Util: 0.75, IPC: 1.6, Mem: 0.40,
+		LoopPeriod: 5, LoopAmp: 0.06, BranchFrac: 0.08,
+	}
+	return Benchmark{Name: "smg2000", Suite: SuiteSMG2000, Phases: []Phase{smooth, transfer}, Repeat: 10}
+}
+
+func hpcgBenchmark() Benchmark {
+	// Conjugate gradient: bandwidth-bound SpMV with a steady rhythm.
+	p := Phase{
+		Duration: 240, Util: 0.48, IPC: 0.6, Mem: 0.88,
+		LoopPeriod: 12, LoopAmp: 0.05, SpikeRate: 0.02, SpikeAmp: 0.10, BranchFrac: 0.07,
+	}
+	return Benchmark{Name: "hpcg", Suite: SuiteHPCG, Phases: []Phase{p}, Repeat: 1}
+}
