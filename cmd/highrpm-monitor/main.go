@@ -28,6 +28,7 @@ func main() {
 		bench     = flag.String("bench", "HPCC/FFT", "benchmark each node runs")
 		duration  = flag.Float64("duration", 60, "monitoring duration in seconds")
 		miss      = flag.Int("miss", 10, "IPMI reading interval in seconds")
+		retain    = flag.Int("retain", 0, "history retention in points per resolution (0: library defaults)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		quiet     = flag.Bool("quiet", false, "only print the final summary")
 	)
@@ -39,6 +40,11 @@ func main() {
 	}
 
 	svc := highrpm.NewService(model)
+	if *retain > 0 {
+		opts := highrpm.DefaultStoreOptions()
+		opts.RetainRaw, opts.Retain10s, opts.Retain60s = *retain, *retain, *retain
+		svc.SetStore(highrpm.NewStore(opts))
+	}
 	if err := svc.Listen("127.0.0.1:0"); err != nil {
 		fatal(err)
 	}
@@ -114,6 +120,10 @@ func main() {
 	if sum.samples > 0 {
 		fmt.Printf("mean absolute node-power error: %.2f W over %d samples\n", sum.absErr/float64(sum.samples), sum.samples)
 	}
+	ss := st.Store
+	fmt.Printf("store: %d series, %d raw points, %d bytes (%.2f B/point, %.1fx vs 16 B uncompressed)\n",
+		ss.Series, ss.Points, ss.Bytes, ss.BytesPerPoint, ss.CompressionRatio)
+	fmt.Printf("query history with: highrpm-query -addr %s -node node-00 -channel p_cpu -res 10\n", svc.Addr())
 }
 
 // loadOrTrain loads a persisted model or trains a compact one in-process.

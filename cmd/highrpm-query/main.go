@@ -1,0 +1,131 @@
+// Command highrpm-query fetches stored power history from a running
+// HighRPM service over TCP: one node's series or the cluster-wide
+// aggregate, at raw 1 s resolution or as 10 s / 60 s min/mean/max rollups.
+// Results print as a table or export as CSV in the tracefile column
+// conventions.
+//
+// Usage:
+//
+//	highrpm-query -addr host:port [-node node-00] [-channel p_cpu]
+//	              [-from 0] [-to 60] [-res 10] [-csv out.csv] [-stats]
+//
+// Without -node the channel is aggregated (summed) across every node the
+// service has history for. -csv - writes CSV to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"highrpm"
+	"highrpm/internal/tracefile"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "service address (host:port), required")
+		node    = flag.String("node", "", "node ID (empty: aggregate across all nodes)")
+		channel = flag.String("channel", "p_node", "channel: "+channelList())
+		from    = flag.Float64("from", 0, "window start in seconds")
+		to      = flag.Float64("to", math.MaxFloat64, "window end in seconds (default: everything)")
+		res     = flag.Int("res", 1, "resolution in seconds: 1 (raw), 10 or 60")
+		csvOut  = flag.String("csv", "", "write CSV to this path instead of a table (- for stdout)")
+		stats   = flag.Bool("stats", false, "also print service and store statistics")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "highrpm-query: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	agent, err := highrpm.DialService(*addr, "highrpm-query")
+	if err != nil {
+		fatal(err)
+	}
+	defer agent.Close()
+
+	body, err := agent.Query(highrpm.QueryRequest{
+		NodeID:      *node,
+		Channel:     *channel,
+		From:        *from,
+		To:          *to,
+		ResolutionS: *res,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *csvOut != "" {
+		var w io.Writer = os.Stdout
+		if *csvOut != "-" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := tracefile.WriteSeries(w, body.Channel, body.StorePoints()); err != nil {
+			fatal(err)
+		}
+	} else {
+		printTable(body)
+	}
+
+	if *stats {
+		st, err := agent.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nservice: %d nodes, %d samples (%d measured)\n", st.Nodes, st.Samples, st.Measured)
+		fmt.Printf("store: %d series, %d raw points, %d bytes (%.2f B/point, %.1fx vs 16 B uncompressed)\n",
+			st.Store.Series, st.Store.Points, st.Store.Bytes, st.Store.BytesPerPoint, st.Store.CompressionRatio)
+	}
+}
+
+func printTable(body highrpm.Series) {
+	scope := body.NodeID
+	if scope == "" {
+		scope = "<all nodes>"
+	}
+	fmt.Printf("# %s %s @ %ds (%d points)\n", scope, body.Channel, body.ResolutionS, len(body.Points))
+	if body.ResolutionS > 1 {
+		fmt.Printf("%10s %10s %10s %10s %6s\n", "time_s", "mean_w", "min_w", "max_w", "n")
+	} else {
+		fmt.Printf("%10s %10s\n", "time_s", body.Channel+"_w")
+	}
+	for _, p := range body.Points {
+		if body.ResolutionS > 1 {
+			fmt.Printf("%10.1f %10s %10s %10s %6d\n",
+				p.Time, watts(float64(p.Value)), watts(float64(p.Min)), watts(float64(p.Max)), p.Count)
+		} else {
+			fmt.Printf("%10.1f %10s\n", p.Time, watts(float64(p.Value)))
+		}
+	}
+}
+
+// watts renders a value, leaving NaN gaps visibly empty.
+func watts(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func channelList() string {
+	names := make([]string, 0, len(highrpm.StoreChannels()))
+	for _, c := range highrpm.StoreChannels() {
+		names = append(names, string(c))
+	}
+	return strings.Join(names, ", ")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "highrpm-query: %v\n", err)
+	os.Exit(1)
+}

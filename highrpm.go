@@ -30,6 +30,7 @@ import (
 	"highrpm/internal/gpuext"
 	"highrpm/internal/platform"
 	"highrpm/internal/stats"
+	"highrpm/internal/tsdb"
 	"highrpm/internal/workload"
 )
 
@@ -194,6 +195,12 @@ type (
 	Agent = cluster.Agent
 	// Estimate is the service's restored power for one sample.
 	Estimate = cluster.Estimate
+	// QueryRequest asks the service for a window of stored power history.
+	QueryRequest = cluster.QueryRequest
+	// Series answers a QueryRequest with decoded points.
+	Series = cluster.SeriesBody
+	// SeriesPoint is one wire-encoded history point.
+	SeriesPoint = cluster.SeriesPoint
 )
 
 // NewService wraps a trained model as a network service.
@@ -201,6 +208,54 @@ func NewService(m *Model) *Service { return cluster.NewService(m) }
 
 // DialService connects a compute-node agent to the service.
 func DialService(addr, nodeID string) (*Agent, error) { return cluster.Dial(addr, nodeID) }
+
+// Time-series store: the embedded, Gorilla-compressed power-history
+// substrate behind Service (queryable over TCP via Agent.Query and the
+// highrpm-query CLI) and usable standalone for local recording.
+type (
+	// Store holds per-node power history: five channels per node at raw
+	// 1 s resolution plus 10 s and 60 s min/mean/max rollups.
+	Store = tsdb.Store
+	// StoreOptions sizes a Store (block size, per-resolution retention).
+	StoreOptions = tsdb.Options
+	// StoreSample is one second of restored power for one node.
+	StoreSample = tsdb.Sample
+	// StorePoint is one decoded sample or rollup bucket.
+	StorePoint = tsdb.Point
+	// StoreStats summarises a Store's footprint and compression ratio.
+	StoreStats = tsdb.Stats
+	// StoreChannel names one stored series per node.
+	StoreChannel = tsdb.Channel
+	// StoreResolution is a query granularity in seconds (1, 10, 60).
+	StoreResolution = tsdb.Resolution
+)
+
+// The five channels a Store records per node.
+const (
+	ChannelPNode      = tsdb.ChanPNode
+	ChannelPCPU       = tsdb.ChanPCPU
+	ChannelPMEM       = tsdb.ChanPMEM
+	ChannelPNodePrime = tsdb.ChanPNodePrime
+	ChannelIPMI       = tsdb.ChanIPMI
+)
+
+// The three stored resolutions.
+const (
+	ResolutionRaw = tsdb.Raw
+	Resolution10s = tsdb.TenSeconds
+	Resolution60s = tsdb.Minute
+)
+
+// NewStore creates an empty power-history store. Query it with
+// Store.Query / Store.Aggregate.
+func NewStore(opts StoreOptions) *Store { return tsdb.New(opts) }
+
+// DefaultStoreOptions retains a day of raw samples, a week of 10 s buckets
+// and a month of 60 s buckets per node channel.
+func DefaultStoreOptions() StoreOptions { return tsdb.DefaultOptions() }
+
+// StoreChannels lists the stored channels in ingest order.
+func StoreChannels() []StoreChannel { return tsdb.Channels() }
 
 // Attribution types: per-job energy accounting on shared nodes (see
 // examples/accounting).

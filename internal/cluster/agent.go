@@ -101,6 +101,38 @@ func (a *Agent) Stats() (Stats, error) {
 	return st, nil
 }
 
+// Query fetches stored power history from the service: one node's series
+// when req.NodeID is set, the cluster-wide aggregate otherwise. NaN gaps
+// (sparse IPMI seconds, all-NaN rollup buckets) arrive as NaN.
+func (a *Agent) Query(req QueryRequest) (SeriesBody, error) {
+	if err := WriteMsg(a.w, KindQuery, req); err != nil {
+		return SeriesBody{}, err
+	}
+	if err := a.w.Flush(); err != nil {
+		return SeriesBody{}, err
+	}
+	env, err := ReadMsg(a.r)
+	if err != nil {
+		return SeriesBody{}, err
+	}
+	switch env.Kind {
+	case KindSeries:
+		var body SeriesBody
+		if err := DecodeBody(env, &body); err != nil {
+			return SeriesBody{}, err
+		}
+		return body, nil
+	case KindError:
+		var eb ErrorBody
+		if err := DecodeBody(env, &eb); err != nil {
+			return SeriesBody{}, err
+		}
+		return SeriesBody{}, fmt.Errorf("cluster: service error: %s", eb.Message)
+	default:
+		return SeriesBody{}, fmt.Errorf("cluster: unexpected reply kind %q", env.Kind)
+	}
+}
+
 // FetchModel downloads the service's trained model for local inference —
 // the fallback path when the control node is unreachable between samples.
 func (a *Agent) FetchModel() (*core.HighRPM, error) {

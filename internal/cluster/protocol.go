@@ -14,6 +14,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+
+	"highrpm/internal/tsdb"
 )
 
 // MsgKind discriminates protocol messages.
@@ -33,6 +36,10 @@ const (
 	// can fall back to local inference when the control node is far away
 	// or the network is congested (§6.4.6's failure scenario).
 	KindModel MsgKind = "model"
+	// KindQuery asks the service for a window of stored power history.
+	KindQuery MsgKind = "query"
+	// KindSeries carries the decoded points answering a KindQuery.
+	KindSeries MsgKind = "series"
 	// KindError reports a server-side failure for a request.
 	KindError MsgKind = "error"
 )
@@ -76,6 +83,97 @@ type Stats struct {
 	Samples   int64 `json:"samples"`
 	Estimates int64 `json:"estimates"`
 	Measured  int64 `json:"measured"`
+	// Store summarises the embedded history store (series count,
+	// compressed bytes, compression ratio).
+	Store tsdb.Stats `json:"store"`
+}
+
+// QueryRequest asks for stored power history over [From, To] seconds.
+type QueryRequest struct {
+	// NodeID selects one node's history; empty aggregates the channel
+	// across every node (cluster-level power).
+	NodeID  string  `json:"node_id,omitempty"`
+	Channel string  `json:"channel"`
+	From    float64 `json:"from_s"`
+	To      float64 `json:"to_s"`
+	// ResolutionS is the bucket width in seconds: 1 (raw, the default
+	// when 0), 10 or 60.
+	ResolutionS int `json:"resolution_s,omitempty"`
+}
+
+// NullFloat marshals NaN/Inf as JSON null (encoding/json rejects them) and
+// restores null as NaN, so sparse channels survive the wire.
+type NullFloat float64
+
+// MarshalJSON renders non-finite values as null.
+func (f NullFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON restores null as NaN.
+func (f *NullFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = NullFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = NullFloat(v)
+	return nil
+}
+
+// SeriesPoint is one wire-encoded store point (see tsdb.Point).
+type SeriesPoint struct {
+	Time  float64   `json:"t"`
+	Value NullFloat `json:"v"`
+	Min   NullFloat `json:"min"`
+	Max   NullFloat `json:"max"`
+	Count int       `json:"n"`
+}
+
+// SeriesBody answers a KindQuery.
+type SeriesBody struct {
+	NodeID      string        `json:"node_id,omitempty"` // empty: aggregate
+	Channel     string        `json:"channel"`
+	ResolutionS int           `json:"resolution_s"`
+	Points      []SeriesPoint `json:"points"`
+}
+
+// toSeriesPoints converts store points for the wire.
+func toSeriesPoints(pts []tsdb.Point) []SeriesPoint {
+	out := make([]SeriesPoint, len(pts))
+	for i, p := range pts {
+		out[i] = SeriesPoint{
+			Time:  p.Time,
+			Value: NullFloat(p.Value),
+			Min:   NullFloat(p.Min),
+			Max:   NullFloat(p.Max),
+			Count: p.Count,
+		}
+	}
+	return out
+}
+
+// StorePoints converts the wire points back to store points, e.g. for
+// tracefile.WriteSeries.
+func (b SeriesBody) StorePoints() []tsdb.Point {
+	out := make([]tsdb.Point, len(b.Points))
+	for i, p := range b.Points {
+		out[i] = tsdb.Point{
+			Time:  p.Time,
+			Value: float64(p.Value),
+			Min:   float64(p.Min),
+			Max:   float64(p.Max),
+			Count: p.Count,
+		}
+	}
+	return out
 }
 
 // ErrorBody carries a server-side error message.

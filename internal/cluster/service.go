@@ -6,18 +6,23 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
 
 	"highrpm/internal/core"
+	"highrpm/internal/tsdb"
 )
 
 // Service is the control-node HighRPM service. One trained model is shared
 // by every compute node; each node gets its own streaming Monitor so power
-// histories never mix.
+// histories never mix. Every estimate is recorded into an embedded tsdb
+// store so agents and tools can query power history (KindQuery) instead of
+// only watching the live stream.
 type Service struct {
 	model *core.HighRPM
+	store *tsdb.Store
 
 	ln     net.Listener
 	mu     sync.Mutex
@@ -34,15 +39,26 @@ type Service struct {
 	Logf func(format string, args ...any)
 }
 
-// NewService wraps a trained model.
+// NewService wraps a trained model. The service records history into a
+// store with tsdb.DefaultOptions(); use SetStore before Listen to size it
+// differently.
 func NewService(model *core.HighRPM) *Service {
 	return &Service{
 		model: model,
+		store: tsdb.New(tsdb.DefaultOptions()),
 		mons:  map[string]*core.Monitor{},
 		conns: map[net.Conn]struct{}{},
 		Logf:  log.Printf,
 	}
 }
+
+// SetStore replaces the history store. Call before Listen; the previous
+// store is discarded.
+func (s *Service) SetStore(st *tsdb.Store) { s.store = st }
+
+// Store exposes the history store for in-process queries (the monitor CLI
+// reads stats from it; tests query it directly).
+func (s *Service) Store() *tsdb.Store { return s.store }
 
 // Listen starts accepting agents on addr ("host:port"; ":0" picks a free
 // port). It returns immediately; Addr reports the bound address.
@@ -65,8 +81,10 @@ func (s *Service) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener, terminates open agent connections, and waits
-// for the handlers to finish.
+// Close stops the listener, terminates open agent connections, waits for
+// the handlers to finish, and only then closes the store — so every
+// in-flight sample is flushed into the history (open rollup buckets are
+// sealed) and no per-connection goroutine can write to a closed store.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -79,6 +97,7 @@ func (s *Service) Close() error {
 		err = s.ln.Close()
 	}
 	s.wg.Wait()
+	s.store.Close()
 	return err
 }
 
@@ -176,6 +195,7 @@ func (s *Service) handle(conn net.Conn) error {
 				break
 			}
 			s.estimates.Add(1)
+			s.record(smp, est)
 			out := Estimate{
 				NodeID: smp.NodeID, Time: smp.Time,
 				PNode: est.PNode, PCPU: est.PCPU, PMEM: est.PMEM,
@@ -186,6 +206,21 @@ func (s *Service) handle(conn net.Conn) error {
 			}
 		case KindStats:
 			if err := WriteMsg(w, KindStats, s.Stats()); err != nil {
+				return err
+			}
+		case KindQuery:
+			var q QueryRequest
+			if err := DecodeBody(env, &q); err != nil {
+				return err
+			}
+			body, err := s.answerQuery(q)
+			if err != nil {
+				if werr := WriteMsg(w, KindError, ErrorBody{Message: err.Error()}); werr != nil {
+					return werr
+				}
+				break
+			}
+			if err := WriteMsg(w, KindSeries, body); err != nil {
 				return err
 			}
 		case KindModel:
@@ -210,6 +245,50 @@ func (s *Service) handle(conn net.Conn) error {
 	}
 }
 
+// record stores one estimate into the history store. An ErrClosed during
+// shutdown is expected (Close is racing the last samples); anything else
+// is logged but never fails the connection — history is best-effort,
+// estimates are not.
+func (s *Service) record(smp Sample, est core.MonitorEstimate) {
+	ipmi := math.NaN()
+	if smp.Measured != nil {
+		ipmi = *smp.Measured
+	}
+	err := s.store.Ingest(smp.NodeID, smp.Time, tsdb.Sample{
+		PNode:      est.PNode,
+		PCPU:       est.PCPU,
+		PMEM:       est.PMEM,
+		PNodePrime: est.PNodePrime,
+		IPMI:       ipmi,
+	})
+	if err != nil && !errors.Is(err, tsdb.ErrClosed) {
+		s.Logf("cluster: store ingest %s: %v", smp.NodeID, err)
+	}
+}
+
+// answerQuery resolves a KindQuery against the store.
+func (s *Service) answerQuery(q QueryRequest) (SeriesBody, error) {
+	res, err := tsdb.ParseResolution(q.ResolutionS)
+	if err != nil {
+		return SeriesBody{}, err
+	}
+	var pts []tsdb.Point
+	if q.NodeID == "" {
+		pts, err = s.store.Aggregate(tsdb.Channel(q.Channel), q.From, q.To, res)
+	} else {
+		pts, err = s.store.Query(q.NodeID, tsdb.Channel(q.Channel), q.From, q.To, res)
+	}
+	if err != nil {
+		return SeriesBody{}, err
+	}
+	return SeriesBody{
+		NodeID:      q.NodeID,
+		Channel:     q.Channel,
+		ResolutionS: int(res),
+		Points:      toSeriesPoints(pts),
+	}, nil
+}
+
 // Stats snapshots service counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
@@ -220,5 +299,6 @@ func (s *Service) Stats() Stats {
 		Samples:   s.samples.Load(),
 		Estimates: s.estimates.Load(),
 		Measured:  s.measured.Load(),
+		Store:     s.store.Stats(),
 	}
 }

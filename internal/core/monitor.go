@@ -44,6 +44,11 @@ type MonitorEstimate struct {
 	PNode float64
 	PCPU  float64
 	PMEM  float64
+	// PNodePrime is the P'_Node trend value for this second — the last IM
+	// reading extrapolated by the inter-reading slope (§4.2.2). It is the
+	// feature DynamicTRR conditions on and is recorded alongside the
+	// estimates so stored history can explain what the model saw.
+	PNodePrime float64
 	// FromMeasurement reports whether PNode came from an IM reading rather
 	// than the DynamicTRR prediction.
 	FromMeasurement bool
@@ -84,6 +89,7 @@ func (m *Monitor) Push(pmc []float64, measured *float64) (MonitorEstimate, error
 		preds := m.h.Dynamic.Net.PredictSeq(window)
 		est.PNode = preds[len(preds)-1]
 	}
+	est.PNodePrime = m.trendAt(m.n)
 	est.PCPU, est.PMEM = m.h.SRR.Predict(pmc, est.PNode)
 	m.hist = append(m.hist, monitorStep{pmc: append([]float64(nil), pmc...), prev: prevFeature})
 	if len(m.hist) > m.miss {

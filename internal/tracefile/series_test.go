@@ -1,0 +1,51 @@
+package tracefile
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"highrpm/internal/tsdb"
+)
+
+func TestSeriesCSVRoundTrip(t *testing.T) {
+	in := []tsdb.Point{
+		{Time: 0, Value: 90.125, Min: 88.5, Max: 93.25, Count: 10},
+		{Time: 10, Value: math.NaN(), Min: math.NaN(), Max: math.NaN(), Count: 0},
+		{Time: 20, Value: 101.5, Min: 101.5, Max: 101.5, Count: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, "p_cpu", in); err != nil {
+		t.Fatal(err)
+	}
+	ch, out, err := ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch != "p_cpu" {
+		t.Fatalf("channel %q", ch)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("%d rows, want %d", len(out), len(in))
+	}
+	for i, p := range out {
+		want := in[i]
+		if p.Time != want.Time || p.Count != want.Count {
+			t.Fatalf("row %d = %+v", i, p)
+		}
+		if math.IsNaN(want.Value) != math.IsNaN(p.Value) {
+			t.Fatalf("row %d NaN mismatch: %+v", i, p)
+		}
+		if !math.IsNaN(want.Value) && (p.Value != want.Value || p.Min != want.Min || p.Max != want.Max) {
+			t.Fatalf("row %d = %+v, want %+v", i, p, want)
+		}
+	}
+}
+
+func TestReadSeriesRejectsTraceFile(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("time_s,foo,bar,baz,qux\n")
+	if _, _, err := ReadSeries(&buf); err == nil {
+		t.Fatal("bogus header accepted")
+	}
+}

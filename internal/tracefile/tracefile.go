@@ -22,6 +22,7 @@ import (
 	"highrpm/internal/dataset"
 	"highrpm/internal/platform"
 	"highrpm/internal/pmu"
+	"highrpm/internal/tsdb"
 )
 
 // Row is one second of a persisted trace.
@@ -170,6 +171,88 @@ func (f *File) Readings() (idx []int, vals []float64) {
 		}
 	}
 	return idx, vals
+}
+
+// SeriesHeader returns the column names WriteSeries emits for a queried
+// power channel, following the trace layout conventions (time_s first,
+// watt columns suffixed _w, empty cells for NaN).
+func SeriesHeader(channel string) []string {
+	return []string{"time_s", channel + "_w", "min_w", "max_w", "count"}
+}
+
+// WriteSeries serialises a store query result (highrpm-query's -csv
+// output). At raw resolution min/max repeat the value and count is 1; NaN
+// gaps become empty cells exactly like the optional trace columns.
+func WriteSeries(w io.Writer, channel string, pts []tsdb.Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(SeriesHeader(channel)); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		row := []string{
+			fmtFloat(p.Time),
+			fmtOptFloat(p.Value),
+			fmtOptFloat(p.Min),
+			fmtOptFloat(p.Max),
+			strconv.Itoa(p.Count),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtOptFloat(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return fmtFloat(v)
+}
+
+// ReadSeries parses a WriteSeries file back into store points; the
+// returned channel name is recovered from the header.
+func ReadSeries(r io.Reader) (channel string, pts []tsdb.Point, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	header, err := cr.Read()
+	if err != nil {
+		return "", nil, fmt.Errorf("tracefile: series header: %w", err)
+	}
+	if header[0] != "time_s" || len(header[1]) < 3 || header[1][len(header[1])-2:] != "_w" {
+		return "", nil, fmt.Errorf("tracefile: not a series file (header %v)", header)
+	}
+	channel = header[1][:len(header[1])-2]
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", nil, fmt.Errorf("tracefile: series line %d: %w", line+1, err)
+		}
+		line++
+		var p tsdb.Point
+		if p.Time, err = parseFloat(rec[0], false); err != nil {
+			return "", nil, fmt.Errorf("tracefile: series line %d time: %w", line, err)
+		}
+		if p.Value, err = parseFloat(rec[1], true); err != nil {
+			return "", nil, fmt.Errorf("tracefile: series line %d value: %w", line, err)
+		}
+		if p.Min, err = parseFloat(rec[2], true); err != nil {
+			return "", nil, fmt.Errorf("tracefile: series line %d min: %w", line, err)
+		}
+		if p.Max, err = parseFloat(rec[3], true); err != nil {
+			return "", nil, fmt.Errorf("tracefile: series line %d max: %w", line, err)
+		}
+		if p.Count, err = strconv.Atoi(rec[4]); err != nil {
+			return "", nil, fmt.Errorf("tracefile: series line %d count: %w", line, err)
+		}
+		pts = append(pts, p)
+	}
+	return channel, pts, nil
 }
 
 // HasGroundTruth reports whether every row carries node power.

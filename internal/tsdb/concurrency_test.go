@@ -1,0 +1,100 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIngestAndQuery drives the locking design the store exists
+// for: N goroutines ingesting into distinct nodes (per-shard mutexes, no
+// global lock on the ingest path) while M goroutines run raw queries,
+// rollup queries, aggregates and stats over the same store. Run under
+// `go test -race ./internal/tsdb` (wired into scripts/verify.sh).
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	const (
+		writers = 8
+		readers = 4
+		seconds = 400
+	)
+	st := New(Options{BlockPoints: 64, RetainRaw: 300, Retain10s: 100, Retain60s: 100})
+	errc := make(chan error, writers+readers)
+
+	var wWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wWg.Add(1)
+		go func(w int) {
+			defer wWg.Done()
+			node := fmt.Sprintf("node-%02d", w)
+			for i := 0; i < seconds; i++ {
+				p := 80 + float64((i+w)%25)
+				ipmi := math.NaN()
+				if i%10 == 0 {
+					ipmi = p
+				}
+				if err := st.Ingest(node, float64(i), Sample{
+					PNode: p, PCPU: 0.7 * p, PMEM: 0.3 * p, PNodePrime: p, IPMI: ipmi,
+				}); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	var rWg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rWg.Add(1)
+		go func(r int) {
+			defer rWg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				node := fmt.Sprintf("node-%02d", (i+r)%writers)
+				ch := channelOrder[i%NumChannels]
+				res := Resolutions()[i%3]
+				pts, err := st.Query(node, ch, 0, seconds, res)
+				if err != nil {
+					// Racing ahead of a writer's first sample is fine.
+					continue
+				}
+				for j := 1; j < len(pts); j++ {
+					if pts[j].Time <= pts[j-1].Time {
+						errc <- fmt.Errorf("unordered points from %s/%s", node, ch)
+						return
+					}
+				}
+				if _, err := st.Aggregate(ChanPNode, 0, seconds, TenSeconds); err != nil {
+					errc <- err
+					return
+				}
+				_ = st.Stats()
+			}
+		}(r)
+	}
+
+	wWg.Wait()
+	close(done)
+	rWg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Every shard must answer a consistent final query.
+	for w := 0; w < writers; w++ {
+		node := fmt.Sprintf("node-%02d", w)
+		pts, err := st.Query(node, ChanPNode, 0, seconds, Raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) < 300 {
+			t.Fatalf("%s retained %d points, want ≥ 300", node, len(pts))
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one decoded sample or rollup bucket. At Raw resolution Value is
+// the ingested float64 (bit-exact, NaN included), Min == Max == Value and
+// Count is 1. At rollup resolutions Value/Min/Max summarise the non-NaN
+// raw points in the bucket and Count is how many there were; a bucket
+// whose window held only NaN gaps has NaN stats and Count 0.
+type Point struct {
+	Time  float64 // seconds; bucket start for rollups
+	Value float64 // raw value, or bucket mean
+	Min   float64
+	Max   float64
+	Count int
+}
+
+// clampMillis converts float milliseconds to int64, saturating instead of
+// overflowing so callers can pass ±huge window bounds ("everything").
+func clampMillis(ms float64) int64 {
+	if math.IsNaN(ms) {
+		return 0
+	}
+	if ms >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if ms <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(ms)
+}
+
+func validRes(res Resolution) error {
+	switch res {
+	case Raw, TenSeconds, Minute:
+		return nil
+	}
+	return fmt.Errorf("tsdb: unsupported resolution %ds (want 1, 10 or 60)", int(res))
+}
+
+// Query returns node's channel points with from ≤ t ≤ to (seconds) at the
+// requested resolution, oldest first. Raw queries decode the exact
+// ingested float64s. The node's shard is locked for the duration of the
+// decode; other nodes' ingest paths are unaffected.
+func (st *Store) Query(node string, ch Channel, from, to float64, res Resolution) ([]Point, error) {
+	idx, err := channelIndex(ch)
+	if err != nil {
+		return nil, err
+	}
+	if err := validRes(res); err != nil {
+		return nil, err
+	}
+	st.mu.RLock()
+	sh := st.shards[node]
+	st.mu.RUnlock()
+	if sh == nil {
+		return nil, fmt.Errorf("tsdb: no history for node %q", node)
+	}
+	fromMs := clampMillis(math.Floor(from * 1000))
+	toMs := clampMillis(math.Ceil(to * 1000))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cs := sh.chans[idx]
+	var pts []Point
+	if res == Raw {
+		err = cs.raw.query(fromMs, toMs, func(t int64, vals []float64) {
+			v := vals[0]
+			pts = append(pts, Point{Time: float64(t) / 1000, Value: v, Min: v, Max: v, Count: 1})
+		})
+		return pts, err
+	}
+	ru := cs.rollupFor(res)
+	err = ru.ser.query(fromMs, toMs, func(t int64, vals []float64) {
+		pts = append(pts, Point{
+			Time:  float64(t) / 1000,
+			Value: vals[0], Min: vals[1], Max: vals[2],
+			Count: int(vals[3]),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := ru.openPoint(fromMs, toMs); ok {
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// Aggregate sums a channel across every node: per timestamp (raw) or
+// bucket (rollups), Value is the sum of node means, Min/Max the summed
+// per-node bounds (a lower/upper envelope for cluster power) and Count the
+// total contributing raw points. Nodes without data in a bucket simply do
+// not contribute. NaN node values are skipped; a timestamp where every
+// node was NaN keeps NaN stats with Count 0.
+func (st *Store) Aggregate(ch Channel, from, to float64, res Resolution) ([]Point, error) {
+	if _, err := channelIndex(ch); err != nil {
+		return nil, err
+	}
+	if err := validRes(res); err != nil {
+		return nil, err
+	}
+	type agg struct {
+		sum, min, max float64
+		count         int
+		nodes         int
+	}
+	acc := map[int64]*agg{}
+	for _, node := range st.Nodes() {
+		pts, err := st.Query(node, ch, from, to, res)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			key := int64(math.Round(p.Time * 1000))
+			a := acc[key]
+			if a == nil {
+				a = &agg{}
+				acc[key] = a
+			}
+			if !math.IsNaN(p.Value) {
+				a.sum += p.Value
+				a.min += p.Min
+				a.max += p.Max
+				a.count += p.Count
+				a.nodes++
+			}
+		}
+	}
+	keys := make([]int64, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	pts := make([]Point, 0, len(keys))
+	for _, k := range keys {
+		a := acc[k]
+		p := Point{Time: float64(k) / 1000, Value: math.NaN(), Min: math.NaN(), Max: math.NaN()}
+		if a.nodes > 0 {
+			p.Value, p.Min, p.Max, p.Count = a.sum, a.min, a.max, a.count
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// Stats summarises the store's footprint.
+type Stats struct {
+	// Nodes and Series count the shards and their raw series (one per
+	// channel per node).
+	Nodes  int `json:"nodes"`
+	Series int `json:"series"`
+	// Points is the number of raw points currently retained; Bytes the
+	// compressed footprint including rollups, RawBytes the raw series
+	// alone.
+	Points   int64 `json:"points"`
+	Bytes    int64 `json:"bytes"`
+	RawBytes int64 `json:"raw_bytes"`
+	// BytesPerPoint is RawBytes/Points; CompressionRatio compares it with
+	// the 16 B (8 B timestamp + 8 B float64) uncompressed baseline. Both
+	// are 0 while the store is empty.
+	BytesPerPoint    float64 `json:"bytes_per_point"`
+	CompressionRatio float64 `json:"compression_ratio"`
+}
+
+// Stats walks every shard; it takes each shard lock briefly.
+func (st *Store) Stats() Stats {
+	st.mu.RLock()
+	shards := make([]*shard, 0, len(st.shards))
+	for _, sh := range st.shards {
+		shards = append(shards, sh)
+	}
+	st.mu.RUnlock()
+	var out Stats
+	out.Nodes = len(shards)
+	for _, sh := range shards {
+		sh.mu.Lock()
+		for _, cs := range sh.chans {
+			out.Series++
+			out.Points += int64(cs.raw.points)
+			raw := int64(cs.raw.bytes())
+			out.RawBytes += raw
+			out.Bytes += raw + int64(cs.r10.ser.bytes()) + int64(cs.r60.ser.bytes())
+		}
+		sh.mu.Unlock()
+	}
+	if out.Points > 0 {
+		out.BytesPerPoint = float64(out.RawBytes) / float64(out.Points)
+		out.CompressionRatio = 16 / out.BytesPerPoint
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+// Package tsdb is an embedded, stdlib-only time-series store for the power
+// histories HighRPM restores. The cluster service computes a 1 Sa/s
+// estimate per node (§4.2 TRR, §4.3 SRR) — this package keeps those
+// estimates so operators can ask "what did node-17 draw between 10:00 and
+// 10:05, split into CPU/MEM?" instead of watching the samples scroll by.
+//
+// Layout: one shard per node ID with its own mutex (ingest for different
+// nodes never contends), five channels per shard (p_node, p_cpu, p_mem,
+// p_node_prime, ipmi), and per channel a raw 1 s series plus incrementally
+// maintained 10 s and 60 s rollups (min/mean/max/count per bucket).
+// Series are rings of Gorilla-compressed blocks (see gorilla.go); the
+// encoding is lossless, so raw queries return bit-identical float64
+// values, NaN gaps included. Retention is a per-resolution point budget
+// with oldest-block eviction.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Channel names one stored power series per node.
+type Channel string
+
+// The five channels recorded per node.
+const (
+	// ChanPNode is the restored 1 Sa/s node power (IM reading on seconds
+	// that have one, DynamicTRR prediction otherwise).
+	ChanPNode Channel = "p_node"
+	// ChanPCPU is the SRR CPU component.
+	ChanPCPU Channel = "p_cpu"
+	// ChanPMEM is the SRR memory component.
+	ChanPMEM Channel = "p_mem"
+	// ChanPNodePrime is the P'_Node trend feature (the last IM reading
+	// extrapolated by the inter-reading slope) fed to DynamicTRR.
+	ChanPNodePrime Channel = "p_node_prime"
+	// ChanIPMI is the sparse IM reading itself; NaN on the seconds without
+	// one (the common case — that is the whole problem).
+	ChanIPMI Channel = "ipmi"
+)
+
+var channelOrder = [...]Channel{ChanPNode, ChanPCPU, ChanPMEM, ChanPNodePrime, ChanIPMI}
+
+// NumChannels is the number of series stored per node.
+const NumChannels = len(channelOrder)
+
+// Channels lists the stored channels in ingest order.
+func Channels() []Channel {
+	out := make([]Channel, NumChannels)
+	copy(out, channelOrder[:])
+	return out
+}
+
+func channelIndex(ch Channel) (int, error) {
+	for i, c := range channelOrder {
+		if c == ch {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("tsdb: unknown channel %q", ch)
+}
+
+// Resolution is a query granularity in seconds.
+type Resolution int
+
+// The three stored resolutions.
+const (
+	// Raw is the ingested 1 Sa/s series, returned bit-exactly.
+	Raw Resolution = 1
+	// TenSeconds buckets raw points into 10 s min/mean/max rollups.
+	TenSeconds Resolution = 10
+	// Minute buckets raw points into 60 s min/mean/max rollups.
+	Minute Resolution = 60
+)
+
+// Resolutions lists the stored resolutions, finest first.
+func Resolutions() []Resolution { return []Resolution{Raw, TenSeconds, Minute} }
+
+// ParseResolution validates a resolution given in seconds; 0 selects Raw.
+func ParseResolution(seconds int) (Resolution, error) {
+	switch Resolution(seconds) {
+	case Raw, TenSeconds, Minute:
+		return Resolution(seconds), nil
+	case 0:
+		return Raw, nil
+	}
+	return 0, fmt.Errorf("tsdb: unsupported resolution %ds (want 1, 10 or 60)", seconds)
+}
+
+// Sample is one second of restored power for one node. IPMI is NaN on
+// seconds without an IM reading; NaN round-trips losslessly.
+type Sample struct {
+	PNode      float64
+	PCPU       float64
+	PMEM       float64
+	PNodePrime float64
+	IPMI       float64
+}
+
+// Options sizes a Store.
+type Options struct {
+	// BlockPoints is the number of points per compressed block (the
+	// eviction granule). Values above half the smallest retention budget
+	// are clamped so retention stays meaningful.
+	BlockPoints int
+	// RetainRaw / Retain10s / Retain60s are per-series point budgets for
+	// the three resolutions; 0 keeps everything.
+	RetainRaw int
+	Retain10s int
+	Retain60s int
+}
+
+// DefaultOptions retains a day of raw samples, a week of 10 s buckets and
+// a month of 60 s buckets per node channel.
+func DefaultOptions() Options {
+	return Options{
+		BlockPoints: 512,
+		RetainRaw:   86400,
+		Retain10s:   60480,
+		Retain60s:   43200,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.BlockPoints <= 0 {
+		o.BlockPoints = d.BlockPoints
+	}
+	if o.RetainRaw < 0 {
+		o.RetainRaw = 0
+	}
+	if o.Retain10s < 0 {
+		o.Retain10s = 0
+	}
+	if o.Retain60s < 0 {
+		o.Retain60s = 0
+	}
+	return o
+}
+
+// blockPointsFor clamps the block size so a series can actually honour its
+// retention budget (eviction is whole-block).
+func blockPointsFor(blockPoints, maxPoints int) int {
+	if maxPoints > 0 && blockPoints > maxPoints/2 {
+		blockPoints = maxPoints / 2
+		if blockPoints < 16 {
+			blockPoints = 16
+		}
+	}
+	return blockPoints
+}
+
+// ErrClosed is returned by Ingest after Close.
+var ErrClosed = errors.New("tsdb: store is closed")
+
+// channelSeries is one channel of one node: the raw series plus its
+// rollups.
+type channelSeries struct {
+	raw *series
+	r10 *rollup
+	r60 *rollup
+}
+
+func newChannelSeries(o Options) *channelSeries {
+	return &channelSeries{
+		raw: newSeries(1, blockPointsFor(o.BlockPoints, o.RetainRaw), o.RetainRaw),
+		r10: newRollup(10_000, blockPointsFor(o.BlockPoints, o.Retain10s), o.Retain10s),
+		r60: newRollup(60_000, blockPointsFor(o.BlockPoints, o.Retain60s), o.Retain60s),
+	}
+}
+
+func (cs *channelSeries) add(t int64, v float64) {
+	var buf [1]float64
+	buf[0] = v
+	cs.raw.append(t, buf[:])
+	cs.r10.add(t, v)
+	cs.r60.add(t, v)
+}
+
+func (cs *channelSeries) rollupFor(res Resolution) *rollup {
+	if res == Minute {
+		return cs.r60
+	}
+	return cs.r10
+}
+
+// shard holds one node's series under its own lock, so ingest from
+// different nodes never serialises.
+type shard struct {
+	mu    sync.Mutex
+	chans [NumChannels]*channelSeries
+}
+
+func newShard(o Options) *shard {
+	sh := &shard{}
+	for i := range sh.chans {
+		sh.chans[i] = newChannelSeries(o)
+	}
+	return sh
+}
+
+// Store is the embedded time-series store. All methods are safe for
+// concurrent use.
+type Store struct {
+	opts   Options
+	mu     sync.RWMutex // guards the shard map, not the shards
+	shards map[string]*shard
+	closed atomic.Bool
+}
+
+// New creates an empty store.
+func New(opts Options) *Store {
+	return &Store{opts: opts.withDefaults(), shards: map[string]*shard{}}
+}
+
+// Options reports the store's effective (defaulted) options.
+func (st *Store) Options() Options { return st.opts }
+
+func (st *Store) shardFor(node string) *shard {
+	st.mu.RLock()
+	sh := st.shards[node]
+	st.mu.RUnlock()
+	if sh != nil {
+		return sh
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if sh = st.shards[node]; sh == nil {
+		sh = newShard(st.opts)
+		st.shards[node] = sh
+	}
+	return sh
+}
+
+// Ingest records one second of restored power for node. t is in seconds
+// (stored at millisecond resolution); values round-trip bit-exactly.
+// Ingest for distinct nodes runs concurrently — only the node's own shard
+// is locked.
+func (st *Store) Ingest(node string, t float64, s Sample) error {
+	if st.closed.Load() {
+		return ErrClosed
+	}
+	sh := st.shardFor(node)
+	ts := int64(math.Round(t * 1000))
+	vals := [NumChannels]float64{s.PNode, s.PCPU, s.PMEM, s.PNodePrime, s.IPMI}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st.closed.Load() {
+		return ErrClosed
+	}
+	for i, v := range vals {
+		sh.chans[i].add(ts, v)
+	}
+	return nil
+}
+
+// Nodes lists the node IDs with recorded history, sorted.
+func (st *Store) Nodes() []string {
+	st.mu.RLock()
+	out := make([]string, 0, len(st.shards))
+	for n := range st.shards {
+		out = append(out, n)
+	}
+	st.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Close seals the open rollup buckets and refuses further ingest. Queries
+// keep working on the frozen history. Close is idempotent.
+func (st *Store) Close() error {
+	if st.closed.Swap(true) {
+		return nil
+	}
+	st.mu.RLock()
+	shards := make([]*shard, 0, len(st.shards))
+	for _, sh := range st.shards {
+		shards = append(shards, sh)
+	}
+	st.mu.RUnlock()
+	for _, sh := range shards {
+		sh.mu.Lock()
+		for _, cs := range sh.chans {
+			cs.r10.flush()
+			cs.r60.flush()
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Repo verification: run before every PR.
+#
+# Tier-1 (the ROADMAP gate) is `go build ./... && go test ./...`; on top of
+# that this script vets the tree and race-checks the concurrent subsystems
+# (the tsdb ingest/query paths and the cluster service) so locking
+# regressions surface immediately.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+echo "== go vet"
+go vet ./...
+echo "== go test"
+go test ./...
+echo "== go test -race (tsdb, cluster)"
+go test -race ./internal/tsdb ./internal/cluster
+echo "verify: OK"
