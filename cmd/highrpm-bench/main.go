@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"highrpm/internal/experiments"
@@ -25,9 +27,13 @@ import (
 
 func main() {
 	var (
-		scaleFlag = flag.String("scale", "quick", "compute budget: bench, quick, or full")
-		seed      = flag.Int64("seed", 1, "simulation and model seed")
-		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		scaleFlag  = flag.String("scale", "quick", "compute budget: bench, quick, or full")
+		seed       = flag.Int64("seed", 1, "simulation and model seed")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		workers    = flag.Int("workers", 0, "training goroutines per model (0 = all CPUs, 1 = bit-exact serial)")
+		parallel   = flag.Int("parallel", 1, "experiments run concurrently (1 = serial, streaming output)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: highrpm-bench [flags] [experiment ...]\n\nflags:\n")
@@ -59,30 +65,66 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "highrpm-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "highrpm-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cfg := experiments.NewConfig(scale)
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	ws := experiments.NewWorkspace(cfg)
 
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = experiments.DefaultOrder()
 	}
-	fmt.Printf("highrpm-bench: scale=%s samples/suite=%d combos=%d seed=%d\n\n",
-		*scaleFlag, cfg.SamplesPerSuite, len(idsOrAll(cfg)), *seed)
+	fmt.Printf("highrpm-bench: scale=%s samples/suite=%d combos=%d seed=%d workers=%d parallel=%d\n\n",
+		*scaleFlag, cfg.SamplesPerSuite, len(idsOrAll(cfg)), *seed, *workers, *parallel)
 	start := time.Now()
-	for _, id := range ids {
-		t0 := time.Now()
-		tables, err := experiments.Run(ws, id)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "highrpm-bench: %s: %v\n", id, err)
+	if *parallel > 1 {
+		if err := experiments.RunAndRenderParallel(ws, ids, os.Stdout, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "highrpm-bench: %v\n", err)
 			os.Exit(1)
 		}
-		for _, t := range tables {
-			t.Render(os.Stdout)
+	} else {
+		for _, id := range ids {
+			t0 := time.Now()
+			tables, err := experiments.Run(ws, id)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "highrpm-bench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			for _, t := range tables {
+				t.Render(os.Stdout)
+			}
+			fmt.Printf("[%s took %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
 		}
-		fmt.Printf("[%s took %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "highrpm-bench: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "highrpm-bench: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // idsOrAll reports how many Table 3 combinations the config evaluates, for

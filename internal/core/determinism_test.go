@@ -1,0 +1,55 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"testing"
+)
+
+// Golden hashes of a fixed-seed online DynamicTRR run (float64 bit patterns
+// of the estimate series, and the persisted network after its online
+// fine-tunes), captured before the rolling-window buffer and the parallel
+// training engine landed. With Workers=1 the run must reproduce both
+// byte-for-byte: the incremental window refresh emits exactly the features
+// the full per-step rebuild emitted.
+const (
+	goldenDynRunBitsHash = "41c0fc0e97c7f58f5e113a018bff9fb14efa58e3936c1a76712ad3961f3327cb"
+	goldenDynNetHash     = "7146bb72468d812da6aec84f316ce1cf8cfa42e29396ef94c1b797037601f496"
+)
+
+func TestDynamicRunMatchesGolden(t *testing.T) {
+	train := trainSet(t, 160)
+	opts := DefaultDynamicTRROptions()
+	opts.Epochs = 3
+	opts.MaxWindows = 200
+	opts.Workers = 1
+	dyn, err := FitDynamicTRR(train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := testSet(t, 120)
+	idx := eval.MeasuredIndices(opts.MissInterval)
+	est, err := dyn.Run(eval, idx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	var buf [8]byte
+	for _, v := range est {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != goldenDynRunBitsHash {
+		t.Errorf("DynamicTRR.Run estimate bits hash = %s, want golden %s", got, goldenDynRunBitsHash)
+	}
+	b, err := dyn.Net.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	if got := hex.EncodeToString(sum[:]); got != goldenDynNetHash {
+		t.Errorf("DynamicTRR fine-tuned net hash = %s, want golden %s", got, goldenDynNetHash)
+	}
+}

@@ -46,6 +46,14 @@ func (o *Options) SetMissInterval(samples int) {
 	o.Dynamic.MissInterval = samples
 }
 
+// SetWorkers adjusts every sub-model's training worker count together:
+// 0 uses every CPU, 1 forces the bit-exact serial paths.
+func (o *Options) SetWorkers(workers int) {
+	o.Static.Workers = workers
+	o.Dynamic.Workers = workers
+	o.SRR.Workers = workers
+}
+
 // HighRPM bundles the trained TRR and SRR models (Fig. 3).
 type HighRPM struct {
 	Opts    Options

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 )
 
 // runnerFunc produces the tables of one experiment.
@@ -144,12 +145,51 @@ func Run(ws *Workspace, id string) ([]*Table, error) {
 
 // RunAndRender executes experiments in order and renders their tables.
 func RunAndRender(ws *Workspace, ids []string, w io.Writer) error {
-	for _, id := range ids {
-		tables, err := Run(ws, id)
-		if err != nil {
-			return fmt.Errorf("experiments: %s: %w", id, err)
+	return RunAndRenderParallel(ws, ids, w, 1)
+}
+
+// RunAndRenderParallel executes independent experiments concurrently,
+// bounded by parallel (≤1 runs serially, 0 is treated as 1), and renders
+// each experiment's tables in the order the ids were given. Experiments
+// share the workspace's split cache, which is safe for concurrent use; a
+// failed experiment does not stop the ones already in flight, and the first
+// error in id order is returned.
+func RunAndRenderParallel(ws *Workspace, ids []string, w io.Writer, parallel int) error {
+	if parallel <= 1 || len(ids) <= 1 {
+		for _, id := range ids {
+			tables, err := Run(ws, id)
+			if err != nil {
+				return fmt.Errorf("experiments: %s: %w", id, err)
+			}
+			for _, t := range tables {
+				t.Render(w)
+			}
 		}
-		for _, t := range tables {
+		return nil
+	}
+	type result struct {
+		tables []*Table
+		err    error
+	}
+	results := make([]result, len(ids))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for k, id := range ids {
+		wg.Add(1)
+		go func(k int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tables, err := Run(ws, id)
+			results[k] = result{tables: tables, err: err}
+		}(k, id)
+	}
+	wg.Wait()
+	for k, id := range ids {
+		if results[k].err != nil {
+			return fmt.Errorf("experiments: %s: %w", id, results[k].err)
+		}
+		for _, t := range results[k].tables {
 			t.Render(w)
 		}
 	}

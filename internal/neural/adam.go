@@ -46,6 +46,13 @@ func (t *tensor) zeroGrad() {
 	}
 }
 
+// shadow returns a view sharing this tensor's parameters with a private
+// gradient buffer. Parallel training workers accumulate into shadows and
+// the reducer folds them back into the primary tensor in shard order.
+func (t *tensor) shadow() *tensor {
+	return &tensor{W: t.W, G: make([]float64, len(t.G)), R: t.R, C: t.C}
+}
+
 // adam holds optimizer state shared by all tensors of a network.
 type adam struct {
 	LR      float64
@@ -173,8 +180,13 @@ func fitScalerND(rows [][]float64) scalerND {
 
 func (s scalerND) fwd(row []float64) []float64 {
 	out := make([]float64, len(row))
-	for j, v := range row {
-		out[j] = (v - s.Mean[j]) / s.Std[j]
-	}
+	s.fwdInto(out, row)
 	return out
+}
+
+// fwdInto standardizes row into dst, which must have the same length.
+func (s scalerND) fwdInto(dst, row []float64) {
+	for j, v := range row {
+		dst[j] = (v - s.Mean[j]) / s.Std[j]
+	}
 }

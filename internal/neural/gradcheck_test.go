@@ -9,10 +9,11 @@ import (
 // seqLoss runs a window through a single cell and returns
 // L = Σ_t ½‖h_t‖², the simplest loss touching every gate path.
 func seqLoss(c cell, xs [][]float64) float64 {
-	st := c.zeroState()
+	sc := c.newScratch()
+	st, _ := sc.begin(len(xs))
 	var loss float64
-	for _, x := range xs {
-		st, _ = c.step(x, st)
+	for t, x := range xs {
+		st = c.step(sc, t, x, st)
 		for _, h := range st.h {
 			loss += 0.5 * h * h
 		}
@@ -23,21 +24,18 @@ func seqLoss(c cell, xs [][]float64) float64 {
 // seqBackward accumulates analytic gradients of seqLoss into the cell's
 // tensors via backpropagation through time.
 func seqBackward(c cell, xs [][]float64) {
-	st := c.zeroState()
+	sc := c.newScratch()
+	st, dst := sc.begin(len(xs))
 	states := make([]cellState, 0, len(xs))
-	caches := make([]any, 0, len(xs))
-	for _, x := range xs {
-		var cache any
-		st, cache = c.step(x, st)
+	for t, x := range xs {
+		st = c.step(sc, t, x, st)
 		states = append(states, st.clone())
-		caches = append(caches, cache)
 	}
-	dst := c.zeroState()
 	for t := len(xs) - 1; t >= 0; t-- {
 		for i, h := range states[t].h {
 			dst.h[i] += h // dL/dh_t from the loss
 		}
-		_, dprev := c.back(caches[t], dst)
+		_, dprev := c.back(sc, t, dst)
 		dst = dprev
 	}
 }
@@ -95,26 +93,32 @@ func TestStackedInputGradient(t *testing.T) {
 	} {
 		c := build()
 		x := []float64{0.3, -0.5, 0.7}
-		st, cache := c.step(x, c.zeroState())
-		dst := c.zeroState()
+		sc := c.newScratch()
+		st0, dst := sc.begin(1)
+		st := c.step(sc, 0, x, st0)
 		copy(dst.h, st.h) // loss = ½‖h‖²
-		dx, _ := c.back(cache, dst)
+		dxRef, _ := c.back(sc, 0, dst)
+		dx := append([]float64(nil), dxRef...)
 
+		// stepLoss evaluates ½‖h‖² for one perturbed step; the loss must be
+		// read before the next step reuses the scratch state buffer.
+		stepLoss := func() float64 {
+			s0, _ := sc.begin(1)
+			h := c.step(sc, 0, x, s0)
+			var l float64
+			for _, hv := range h.h {
+				l += 0.5 * hv * hv
+			}
+			return l
+		}
 		const eps = 1e-5
 		for j := range x {
 			orig := x[j]
 			x[j] = orig + eps
-			hp, _ := c.step(x, c.zeroState())
+			lp := stepLoss()
 			x[j] = orig - eps
-			hm, _ := c.step(x, c.zeroState())
+			lm := stepLoss()
 			x[j] = orig
-			var lp, lm float64
-			for _, h := range hp.h {
-				lp += 0.5 * h * h
-			}
-			for _, h := range hm.h {
-				lm += 0.5 * h * h
-			}
 			numeric := (lp - lm) / (2 * eps)
 			if math.Abs(numeric-dx[j]) > 1e-4*(1+math.Abs(numeric)) {
 				t.Fatalf("%s dx[%d]: analytic %g vs numeric %g", name, j, dx[j], numeric)
@@ -142,10 +146,11 @@ func TestMLPGradients(t *testing.T) {
 	for _, tns := range append(append([]*tensor{}, n.Win...), n.Bin...) {
 		tns.zeroGrad()
 	}
-	n.backprop(xs, ys)
+	ex := n.trainExec()
+	ex.backprop(&n.XScaler, n.YScaler, xs, ys)
 
 	loss := func() float64 {
-		acts := n.forward(xs)
+		acts := ex.forward(&n.XScaler, xs)
 		out := acts[len(acts)-1]
 		var l float64
 		for j := range out {

@@ -32,21 +32,71 @@ func newGRUCell(in, hid int, rng interface{ NormFloat64() float64 }) *gruCell {
 	return c
 }
 
-type gruCache struct {
+// gruStep records one timestep's activations for backprop. a holds its own
+// copy of the candidate recurrent term Un·h because the 3H matvec buffer is
+// reused every step.
+type gruStep struct {
 	x, hPrev []float64
 	z, r, n  []float64
 	a        []float64 // Un·h (candidate recurrent term before reset gating)
 }
 
-func (g *gruCell) zeroState() cellState { return cellState{h: make([]float64, g.hid)} }
-func (g *gruCell) inputSize() int       { return g.in }
-func (g *gruCell) hiddenSize() int      { return g.hid }
-func (g *gruCell) tensors() []*tensor   { return []*tensor{g.wx, g.wh, g.b} }
+// gruScratch is the reusable per-executor workspace of one GRU layer.
+type gruScratch struct {
+	in, hid int
+	zx, ah  []float64    // 3H pre-activation slabs, reused each step
+	dzPre   []float64    // 3H
+	da      []float64    // H
+	dx      []float64    // input gradient
+	dbuf    [2]cellState // ping-pong backward state gradients
+	hs      [][]float64  // states; hs[0] stays all-zero
+	steps   []gruStep
+}
 
-func (g *gruCell) step(x []float64, st cellState) (cellState, any) {
+func (g *gruCell) newScratch() cellScratch {
+	H := g.hid
+	return &gruScratch{
+		in: g.in, hid: H,
+		zx: make([]float64, 3*H), ah: make([]float64, 3*H),
+		dzPre: make([]float64, 3*H), da: make([]float64, H),
+		dx: make([]float64, g.in),
+		dbuf: [2]cellState{
+			{h: make([]float64, H)},
+			{h: make([]float64, H)},
+		},
+	}
+}
+
+func (s *gruScratch) begin(T int) (cellState, cellState) {
+	H := s.hid
+	for len(s.hs) < T+1 {
+		s.hs = append(s.hs, make([]float64, H))
+	}
+	for len(s.steps) < T {
+		s.steps = append(s.steps, gruStep{
+			z: make([]float64, H), r: make([]float64, H),
+			n: make([]float64, H), a: make([]float64, H),
+		})
+	}
+	d0 := s.dbuf[T&1]
+	clear(d0.h)
+	return cellState{h: s.hs[0]}, d0
+}
+
+func (g *gruCell) inputSize() int     { return g.in }
+func (g *gruCell) hiddenSize() int    { return g.hid }
+func (g *gruCell) tensors() []*tensor { return []*tensor{g.wx, g.wh, g.b} }
+
+func (g *gruCell) shadow() cell {
+	return &gruCell{in: g.in, hid: g.hid,
+		wx: g.wx.shadow(), wh: g.wh.shadow(), b: g.b.shadow()}
+}
+
+func (g *gruCell) step(scr cellScratch, t int, x []float64, st cellState) cellState {
+	s := scr.(*gruScratch)
 	H := g.hid
 	// zx = Wx·x + b for all three blocks; ah = Uh·h for all three blocks.
-	zx := make([]float64, 3*H)
+	zx := s.zx
 	copy(zx, g.b.W)
 	for i, xv := range x {
 		if xv == 0 {
@@ -57,7 +107,8 @@ func (g *gruCell) step(x []float64, st cellState) (cellState, any) {
 			zx[j] += xv * wv
 		}
 	}
-	ah := make([]float64, 3*H)
+	ah := s.ah
+	clear(ah)
 	for i, hv := range st.h {
 		if hv == 0 {
 			continue
@@ -67,39 +118,38 @@ func (g *gruCell) step(x []float64, st cellState) (cellState, any) {
 			ah[j] += hv * wv
 		}
 	}
-	cache := &gruCache{
-		x: x, hPrev: st.h,
-		z: make([]float64, H), r: make([]float64, H),
-		n: make([]float64, H), a: ah[2*H : 3*H],
-	}
-	h := make([]float64, H)
+	c := &s.steps[t]
+	c.x, c.hPrev = x, st.h
+	copy(c.a, ah[2*H:3*H])
+	h := s.hs[t+1]
 	for j := 0; j < H; j++ {
-		cache.z[j] = sigmoid(zx[j] + ah[j])
-		cache.r[j] = sigmoid(zx[H+j] + ah[H+j])
-		cache.n[j] = math.Tanh(zx[2*H+j] + cache.r[j]*cache.a[j])
-		h[j] = (1-cache.z[j])*cache.n[j] + cache.z[j]*st.h[j]
+		c.z[j] = sigmoid(zx[j] + ah[j])
+		c.r[j] = sigmoid(zx[H+j] + ah[H+j])
+		c.n[j] = math.Tanh(zx[2*H+j] + c.r[j]*c.a[j])
+		h[j] = (1-c.z[j])*c.n[j] + c.z[j]*st.h[j]
 	}
-	return cellState{h: h}, cache
+	return cellState{h: h}
 }
 
-func (g *gruCell) back(cacheAny any, dst cellState) ([]float64, cellState) {
-	cache := cacheAny.(*gruCache)
+func (g *gruCell) back(scr cellScratch, t int, dst cellState) ([]float64, cellState) {
+	s := scr.(*gruScratch)
+	c := &s.steps[t]
 	H := g.hid
 	// dzPre has the pre-activation gradients for the three gate blocks; the
 	// candidate block's recurrent path is gated by r, handled separately.
-	dzPre := make([]float64, 3*H)
-	dhPrev := make([]float64, H)
-	da := make([]float64, H)
+	dzPre := s.dzPre
+	da := s.da
+	dhPrev := s.dbuf[t&1].h
 	for j := 0; j < H; j++ {
 		dh := dst.h[j]
-		dz := dh * (cache.hPrev[j] - cache.n[j])
-		dn := dh * (1 - cache.z[j])
-		dhPrev[j] += dh * cache.z[j]
-		dnPre := dn * (1 - cache.n[j]*cache.n[j])
-		dr := dnPre * cache.a[j]
-		da[j] = dnPre * cache.r[j]
-		dzPre[j] = dz * cache.z[j] * (1 - cache.z[j])
-		dzPre[H+j] = dr * cache.r[j] * (1 - cache.r[j])
+		dz := dh * (c.hPrev[j] - c.n[j])
+		dn := dh * (1 - c.z[j])
+		dhPrev[j] = dh * c.z[j]
+		dnPre := dn * (1 - c.n[j]*c.n[j])
+		dr := dnPre * c.a[j]
+		da[j] = dnPre * c.r[j]
+		dzPre[j] = dz * c.z[j] * (1 - c.z[j])
+		dzPre[H+j] = dr * c.r[j] * (1 - c.r[j])
 		dzPre[2*H+j] = dnPre
 	}
 	// Bias gradients (bias feeds zx for all blocks).
@@ -107,8 +157,8 @@ func (g *gruCell) back(cacheAny any, dst cellState) ([]float64, cellState) {
 		g.b.G[j] += d
 	}
 	// Input weights and dx.
-	dx := make([]float64, g.in)
-	for i, xv := range cache.x {
+	dx := s.dx
+	for i, xv := range c.x {
 		wrow := g.wx.W[i*3*H : (i+1)*3*H]
 		grow := g.wx.G[i*3*H : (i+1)*3*H]
 		var acc float64
@@ -120,7 +170,7 @@ func (g *gruCell) back(cacheAny any, dst cellState) ([]float64, cellState) {
 	}
 	// Recurrent weights: blocks z and r receive dzPre directly; block n
 	// receives da (the reset-gated path).
-	for i, hv := range cache.hPrev {
+	for i, hv := range c.hPrev {
 		wrow := g.wh.W[i*3*H : (i+1)*3*H]
 		grow := g.wh.G[i*3*H : (i+1)*3*H]
 		var acc float64
@@ -147,6 +197,10 @@ type GRU struct {
 	BatchSize      int     `json:"batch_size"`
 	FineTuneEpochs int     `json:"fine_tune_epochs"`
 	Seed           int64   `json:"seed"`
+	// Workers shards mini-batches across a worker pool during FitSeq and
+	// FineTune: 0 uses every CPU, 1 forces the bit-exact serial path, N>1
+	// uses N workers (deterministic for a fixed N). Never persisted.
+	Workers int `json:"-"`
 
 	inputDim int
 	net      *seqNet
@@ -181,6 +235,7 @@ func (g *GRU) FitSeq(seqs [][][]float64, targets [][]float64) error {
 		return fmt.Errorf("neural: no training windows")
 	}
 	g.build(len(seqs[0][0]))
+	g.net.workers = resolveWorkers(g.Workers)
 	g.net.fitScalers(seqs, targets)
 	return g.net.trainWindows(seqs, targets, g.Epochs, g.BatchSize)
 }
@@ -194,6 +249,7 @@ func (g *GRU) FineTune(seqs [][][]float64, targets [][]float64) error {
 	if epochs <= 0 {
 		epochs = 2
 	}
+	g.net.workers = resolveWorkers(g.Workers)
 	return g.net.trainWindows(seqs, targets, epochs, g.BatchSize)
 }
 

@@ -35,23 +35,72 @@ func newLSTMCell(in, hid int, rng interface{ NormFloat64() float64 }) *lstmCell 
 	return c
 }
 
-type lstmCache struct {
+// lstmStep records one timestep's activations for backprop. The gate
+// slices are owned by the scratch; x, hPrev, cPrev and c reference buffers
+// that stay live for the whole window.
+type lstmStep struct {
 	x, hPrev, cPrev []float64
-	i, f, g, o      []float64
-	c, tc           []float64
+	i, f, g, o, tc  []float64
+	c               []float64
 }
 
-func (l *lstmCell) zeroState() cellState {
-	return cellState{h: make([]float64, l.hid), c: make([]float64, l.hid)}
+// lstmScratch is the reusable per-executor workspace of one LSTM layer:
+// pre-activation and gradient slabs plus per-timestep state and gate
+// buffers, grown once to the window length and reused for every window.
+type lstmScratch struct {
+	in, hid int
+	z, dz   []float64      // 4H pre-activations / their gradients
+	dx      []float64      // input gradient
+	dbuf    [2]cellState   // ping-pong backward state gradients
+	hs, cs  [][]float64    // states; hs[0]/cs[0] stay all-zero
+	steps   []lstmStep
+}
+
+func (l *lstmCell) newScratch() cellScratch {
+	H := l.hid
+	return &lstmScratch{
+		in: l.in, hid: H,
+		z: make([]float64, 4*H), dz: make([]float64, 4*H),
+		dx: make([]float64, l.in),
+		dbuf: [2]cellState{
+			{h: make([]float64, H), c: make([]float64, H)},
+			{h: make([]float64, H), c: make([]float64, H)},
+		},
+	}
+}
+
+func (s *lstmScratch) begin(T int) (cellState, cellState) {
+	H := s.hid
+	for len(s.hs) < T+1 {
+		s.hs = append(s.hs, make([]float64, H))
+		s.cs = append(s.cs, make([]float64, H))
+	}
+	for len(s.steps) < T {
+		s.steps = append(s.steps, lstmStep{
+			i: make([]float64, H), f: make([]float64, H),
+			g: make([]float64, H), o: make([]float64, H),
+			tc: make([]float64, H),
+		})
+	}
+	d0 := s.dbuf[T&1]
+	clear(d0.h)
+	clear(d0.c)
+	return cellState{h: s.hs[0], c: s.cs[0]}, d0
 }
 
 func (l *lstmCell) inputSize() int     { return l.in }
 func (l *lstmCell) hiddenSize() int    { return l.hid }
 func (l *lstmCell) tensors() []*tensor { return []*tensor{l.wx, l.wh, l.b} }
 
-func (l *lstmCell) step(x []float64, st cellState) (cellState, any) {
+func (l *lstmCell) shadow() cell {
+	return &lstmCell{in: l.in, hid: l.hid,
+		wx: l.wx.shadow(), wh: l.wh.shadow(), b: l.b.shadow()}
+}
+
+func (l *lstmCell) step(scr cellScratch, t int, x []float64, st cellState) cellState {
+	s := scr.(*lstmScratch)
 	H := l.hid
-	z := make([]float64, 4*H)
+	z := s.z
 	copy(z, l.b.W)
 	for i, xv := range x {
 		if xv == 0 {
@@ -71,49 +120,48 @@ func (l *lstmCell) step(x []float64, st cellState) (cellState, any) {
 			z[j] += hv * wv
 		}
 	}
-	cache := &lstmCache{
-		x: x, hPrev: st.h, cPrev: st.c,
-		i: make([]float64, H), f: make([]float64, H),
-		g: make([]float64, H), o: make([]float64, H),
-		c: make([]float64, H), tc: make([]float64, H),
-	}
-	h := make([]float64, H)
+	g := &s.steps[t]
+	g.x, g.hPrev, g.cPrev = x, st.h, st.c
+	c, h := s.cs[t+1], s.hs[t+1]
+	g.c = c
 	for j := 0; j < H; j++ {
-		cache.i[j] = sigmoid(z[j])
-		cache.f[j] = sigmoid(z[H+j])
-		cache.g[j] = math.Tanh(z[2*H+j])
-		cache.o[j] = sigmoid(z[3*H+j])
-		cache.c[j] = cache.f[j]*st.c[j] + cache.i[j]*cache.g[j]
-		cache.tc[j] = math.Tanh(cache.c[j])
-		h[j] = cache.o[j] * cache.tc[j]
+		g.i[j] = sigmoid(z[j])
+		g.f[j] = sigmoid(z[H+j])
+		g.g[j] = math.Tanh(z[2*H+j])
+		g.o[j] = sigmoid(z[3*H+j])
+		c[j] = g.f[j]*st.c[j] + g.i[j]*g.g[j]
+		g.tc[j] = math.Tanh(c[j])
+		h[j] = g.o[j] * g.tc[j]
 	}
-	return cellState{h: h, c: cache.c}, cache
+	return cellState{h: h, c: c}
 }
 
-func (l *lstmCell) back(cacheAny any, dst cellState) ([]float64, cellState) {
-	cache := cacheAny.(*lstmCache)
+func (l *lstmCell) back(scr cellScratch, t int, dst cellState) ([]float64, cellState) {
+	s := scr.(*lstmScratch)
+	g := &s.steps[t]
 	H := l.hid
-	dz := make([]float64, 4*H)
-	dcPrev := make([]float64, H)
+	dz := s.dz
+	out := s.dbuf[t&1]
+	dhPrev, dcPrev := out.h, out.c
 	for j := 0; j < H; j++ {
 		dh := dst.h[j]
-		do := dh * cache.tc[j]
-		dc := dst.c[j] + dh*cache.o[j]*(1-cache.tc[j]*cache.tc[j])
-		di := dc * cache.g[j]
-		df := dc * cache.cPrev[j]
-		dg := dc * cache.i[j]
-		dcPrev[j] = dc * cache.f[j]
-		dz[j] = di * cache.i[j] * (1 - cache.i[j])
-		dz[H+j] = df * cache.f[j] * (1 - cache.f[j])
-		dz[2*H+j] = dg * (1 - cache.g[j]*cache.g[j])
-		dz[3*H+j] = do * cache.o[j] * (1 - cache.o[j])
+		do := dh * g.tc[j]
+		dc := dst.c[j] + dh*g.o[j]*(1-g.tc[j]*g.tc[j])
+		di := dc * g.g[j]
+		df := dc * g.cPrev[j]
+		dg := dc * g.i[j]
+		dcPrev[j] = dc * g.f[j]
+		dz[j] = di * g.i[j] * (1 - g.i[j])
+		dz[H+j] = df * g.f[j] * (1 - g.f[j])
+		dz[2*H+j] = dg * (1 - g.g[j]*g.g[j])
+		dz[3*H+j] = do * g.o[j] * (1 - g.o[j])
 	}
 	// Parameter gradients.
 	for j, d := range dz {
 		l.b.G[j] += d
 	}
-	dx := make([]float64, l.in)
-	for i, xv := range cache.x {
+	dx := s.dx
+	for i, xv := range g.x {
 		wrow := l.wx.W[i*4*H : (i+1)*4*H]
 		grow := l.wx.G[i*4*H : (i+1)*4*H]
 		var acc float64
@@ -123,8 +171,7 @@ func (l *lstmCell) back(cacheAny any, dst cellState) ([]float64, cellState) {
 		}
 		dx[i] = acc
 	}
-	dhPrev := make([]float64, H)
-	for i, hv := range cache.hPrev {
+	for i, hv := range g.hPrev {
 		wrow := l.wh.W[i*4*H : (i+1)*4*H]
 		grow := l.wh.G[i*4*H : (i+1)*4*H]
 		var acc float64
@@ -149,6 +196,11 @@ type LSTM struct {
 	// FineTuneEpochs controls how many passes FineTune runs (default 2).
 	FineTuneEpochs int   `json:"fine_tune_epochs"`
 	Seed           int64 `json:"seed"`
+	// Workers shards mini-batches across a worker pool during FitSeq and
+	// FineTune: 0 uses every CPU, 1 forces the bit-exact serial path, N>1
+	// uses N workers (deterministic for a fixed N). Not part of the model
+	// state: it never persists.
+	Workers int `json:"-"`
 
 	inputDim int
 	net      *seqNet
@@ -187,6 +239,7 @@ func (l *LSTM) FitSeq(seqs [][][]float64, targets [][]float64) error {
 		return fmt.Errorf("neural: no training windows")
 	}
 	l.build(len(seqs[0][0]))
+	l.net.workers = resolveWorkers(l.Workers)
 	l.net.fitScalers(seqs, targets)
 	return l.net.trainWindows(seqs, targets, l.Epochs, l.BatchSize)
 }
@@ -202,6 +255,7 @@ func (l *LSTM) FineTune(seqs [][][]float64, targets [][]float64) error {
 	if epochs <= 0 {
 		epochs = 2
 	}
+	l.net.workers = resolveWorkers(l.Workers)
 	return l.net.trainWindows(seqs, targets, epochs, l.BatchSize)
 }
 

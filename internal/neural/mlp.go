@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"highrpm/internal/mat"
 	"highrpm/internal/model"
@@ -24,6 +25,10 @@ type MLP struct {
 	Epochs    int     `json:"epochs"`     // training epochs
 	BatchSize int     `json:"batch_size"` // mini-batch size
 	Seed      int64   `json:"seed"`
+	// Workers shards mini-batches across a worker pool during Fit and
+	// TrainMore: 0 uses every CPU, 1 forces the bit-exact serial path, N>1
+	// uses N workers (deterministic for a fixed N). Never persisted.
+	Workers int `json:"-"`
 
 	// Fitted state.
 	Win     []*tensor // weight matrices, layer l: (in_l × out_l)
@@ -31,8 +36,121 @@ type MLP struct {
 	XScaler scalerND
 	YScaler []scaler1d
 
-	rng *rand.Rand
-	opt *adam
+	rng  *rand.Rand
+	opt  *adam
+	exec *mlpExec   // serial-path training executor, lazily built
+	pool []*mlpExec // parallel training workers, lazily built
+
+	// predPool recycles prediction scratch so concurrent Predict callers
+	// stay race-free without reallocating activations per call.
+	predPool sync.Pool
+}
+
+// mlpExec owns the forward/backward scratch of one training goroutine: the
+// standardized input, per-layer activations and per-layer deltas. Workers
+// additionally carry shadow tensors sharing the network weights with
+// private gradients.
+type mlpExec struct {
+	win, bin []*tensor
+	sx       []float64
+	acts     [][]float64 // acts[0] = sx, acts[l+1] = layer l output
+	deltas   [][]float64 // deltas[l] = dL/d(layer l output)
+}
+
+func newMLPExec(win, bin []*tensor, inputs int) *mlpExec {
+	e := &mlpExec{win: win, bin: bin, sx: make([]float64, inputs)}
+	e.acts = append(e.acts, e.sx)
+	for _, w := range win {
+		e.acts = append(e.acts, make([]float64, w.C))
+		e.deltas = append(e.deltas, make([]float64, w.C))
+	}
+	return e
+}
+
+// shadowMLPExec clones the layer tensors with private gradients.
+func shadowMLPExec(win, bin []*tensor, inputs int) *mlpExec {
+	sw := make([]*tensor, len(win))
+	sb := make([]*tensor, len(bin))
+	for l := range win {
+		sw[l] = win[l].shadow()
+		sb[l] = bin[l].shadow()
+	}
+	return newMLPExec(sw, sb, inputs)
+}
+
+// forward runs the network on a raw input, standardizing into the exec's
+// scratch; acts[last] is the output in standardized target space.
+func (e *mlpExec) forward(xs *scalerND, rawX []float64) [][]float64 {
+	xs.fwdInto(e.sx, rawX)
+	cur := e.sx
+	for l, w := range e.win {
+		out := e.acts[l+1]
+		copy(out, e.bin[l].W)
+		for i, xv := range cur {
+			if xv == 0 {
+				continue
+			}
+			row := w.W[i*w.C : (i+1)*w.C]
+			for j, wv := range row {
+				out[j] += xv * wv
+			}
+		}
+		if l < len(e.win)-1 { // hidden: ReLU
+			for j := range out {
+				if out[j] < 0 {
+					out[j] = 0
+				}
+			}
+		}
+		cur = out
+	}
+	return e.acts
+}
+
+// backprop accumulates gradients for one sample into the exec's tensors.
+func (e *mlpExec) backprop(xs *scalerND, ys []scaler1d, rawX, rawY []float64) {
+	acts := e.forward(xs, rawX)
+	out := acts[len(acts)-1]
+	// dL/dout for MSE in standardized target space.
+	last := len(e.win) - 1
+	delta := e.deltas[last]
+	for j := range out {
+		delta[j] = out[j] - ys[j].fwd(rawY[j])
+	}
+	for l := last; l >= 0; l-- {
+		w := e.win[l]
+		in := acts[l]
+		// Bias grads.
+		for j, d := range delta {
+			e.bin[l].G[j] += d
+		}
+		// Weight grads and input deltas.
+		var prev []float64
+		if l > 0 {
+			prev = e.deltas[l-1]
+		}
+		for i, xv := range in {
+			row := w.W[i*w.C : (i+1)*w.C]
+			grow := w.G[i*w.C : (i+1)*w.C]
+			var acc float64
+			for j, d := range delta {
+				grow[j] += d * xv
+				acc += d * row[j]
+			}
+			if l > 0 {
+				prev[i] = acc
+			}
+		}
+		if l > 0 {
+			// ReLU derivative on the hidden pre-activation output.
+			for i := range prev {
+				if in[i] <= 0 {
+					prev[i] = 0
+				}
+			}
+			delta = prev
+		}
+	}
 }
 
 // mlpState is the JSON form of a trained MLP.
@@ -86,6 +204,11 @@ func (n *MLP) initNet(inputs int) {
 		tensors = append(tensors, w, b)
 	}
 	n.opt = newAdam(n.LR, tensors...)
+	// The layer tensors changed identity: drop executors bound to the old
+	// ones (stale prediction executors age out of predPool via the pointer
+	// check in predExec).
+	n.exec = nil
+	n.pool = nil
 }
 
 // Fit trains a single-output network (model.Regressor).
@@ -138,6 +261,7 @@ func (n *MLP) train(x, y *mat.Dense, epochs int) error {
 	if batch <= 0 {
 		batch = 32
 	}
+	workers := resolveWorkers(n.Workers)
 	order := n.rng.Perm(r)
 	for e := 0; e < epochs; e++ {
 		n.rng.Shuffle(r, func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -146,8 +270,14 @@ func (n *MLP) train(x, y *mat.Dense, epochs int) error {
 			if end > r {
 				end = r
 			}
-			for _, i := range order[start:end] {
-				n.backprop(x.Row(i), y.Row(i))
+			idxs := order[start:end]
+			if w := min(workers, len(idxs)); w <= 1 {
+				ex := n.trainExec()
+				for _, i := range idxs {
+					ex.backprop(&n.XScaler, n.YScaler, x.Row(i), y.Row(i))
+				}
+			} else {
+				n.parallelBatch(idxs, x, y, w)
 			}
 			n.opt.Step(end-start, 5)
 		}
@@ -155,82 +285,57 @@ func (n *MLP) train(x, y *mat.Dense, epochs int) error {
 	return nil
 }
 
-// forward runs the network on a standardized input, returning all layer
-// activations (acts[0] = input, acts[last] = output in standardized space)
-// and the pre-activations of hidden layers.
-func (n *MLP) forward(sx []float64) (acts [][]float64) {
-	acts = make([][]float64, len(n.Win)+1)
-	acts[0] = sx
-	cur := sx
-	for l, w := range n.Win {
-		out := make([]float64, w.C)
-		copy(out, n.Bin[l].W)
-		for i, xv := range cur {
-			if xv == 0 {
-				continue
-			}
-			row := w.W[i*w.C : (i+1)*w.C]
-			for j, wv := range row {
-				out[j] += xv * wv
-			}
-		}
-		if l < len(n.Win)-1 { // hidden: ReLU
-			for j := range out {
-				if out[j] < 0 {
-					out[j] = 0
-				}
-			}
-		}
-		acts[l+1] = out
-		cur = out
+// trainExec returns the serial-path executor, building it on first use.
+func (n *MLP) trainExec() *mlpExec {
+	if n.exec == nil {
+		n.exec = newMLPExec(n.Win, n.Bin, n.Win[0].R)
 	}
-	return acts
+	return n.exec
 }
 
-// backprop accumulates gradients for one sample.
-func (n *MLP) backprop(rawX, rawY []float64) {
-	sx := n.XScaler.fwd(rawX)
-	acts := n.forward(sx)
-	out := acts[len(acts)-1]
-	// dL/dout for MSE in standardized target space.
-	delta := make([]float64, len(out))
-	for j := range out {
-		delta[j] = out[j] - n.YScaler[j].fwd(rawY[j])
+// parallelBatch shards one mini-batch across w workers, each accumulating
+// into shadow gradients, then reduces the shadows into the primary tensors
+// in fixed shard order so results are deterministic for a given w.
+func (n *MLP) parallelBatch(idxs []int, x, y *mat.Dense, w int) {
+	for len(n.pool) < w {
+		n.pool = append(n.pool, shadowMLPExec(n.Win, n.Bin, n.Win[0].R))
 	}
-	for l := len(n.Win) - 1; l >= 0; l-- {
-		w := n.Win[l]
-		in := acts[l]
-		// Bias grads.
-		for j, d := range delta {
-			n.Bin[l].G[j] += d
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo, hi := shardRange(len(idxs), w, k)
+		if lo >= hi {
+			continue
 		}
-		// Weight grads and input deltas.
-		var prev []float64
-		if l > 0 {
-			prev = make([]float64, len(in))
-		}
-		for i, xv := range in {
-			row := w.W[i*w.C : (i+1)*w.C]
-			grow := w.G[i*w.C : (i+1)*w.C]
-			var acc float64
-			for j, d := range delta {
-				grow[j] += d * xv
-				acc += d * row[j]
+		wg.Add(1)
+		go func(ex *mlpExec, part []int) {
+			defer wg.Done()
+			for _, i := range part {
+				ex.backprop(&n.XScaler, n.YScaler, x.Row(i), y.Row(i))
 			}
-			if l > 0 {
-				prev[i] = acc
+		}(n.pool[k], idxs[lo:hi])
+	}
+	wg.Wait()
+	for _, ex := range n.pool[:w] {
+		for l := range n.Win {
+			for i, g := range ex.win[l].G {
+				n.Win[l].G[i] += g
 			}
-		}
-		if l > 0 {
-			// ReLU derivative on the hidden pre-activation output.
-			for i := range prev {
-				if in[i] <= 0 {
-					prev[i] = 0
-				}
+			clear(ex.win[l].G)
+			for i, g := range ex.bin[l].G {
+				n.Bin[l].G[i] += g
 			}
-			delta = prev
+			clear(ex.bin[l].G)
 		}
 	}
+}
+
+// predExec borrows a prediction executor, dropping pooled ones built
+// against superseded tensors (initNet replaces Win/Bin wholesale).
+func (n *MLP) predExec() *mlpExec {
+	if e, ok := n.predPool.Get().(*mlpExec); ok && len(e.win) == len(n.Win) && e.win[0] == n.Win[0] {
+		return e
+	}
+	return newMLPExec(n.Win, n.Bin, n.Win[0].R)
 }
 
 // Predict evaluates a single-output network.
@@ -239,16 +344,20 @@ func (n *MLP) Predict(features []float64) float64 {
 }
 
 // PredictMulti evaluates the network, returning de-standardized outputs.
+// Safe for concurrent use: each call borrows pooled scratch, so goroutines
+// sharing one fitted model never share buffers.
 func (n *MLP) PredictMulti(features []float64) []float64 {
 	if n.Win == nil {
 		panic("neural: MLP is not fitted")
 	}
-	acts := n.forward(n.XScaler.fwd(features))
+	e := n.predExec()
+	acts := e.forward(&n.XScaler, features)
 	out := acts[len(acts)-1]
 	res := make([]float64, len(out))
 	for j, v := range out {
 		res[j] = n.YScaler[j].inv(v)
 	}
+	n.predPool.Put(e)
 	return res
 }
 

@@ -1,0 +1,32 @@
+package neural
+
+import "runtime"
+
+// resolveWorkers maps a model's Workers knob to an effective worker count:
+// 0 (the default) uses every available CPU, anything else is taken as-is
+// with a floor of one. Training with one worker follows the exact serial
+// code path, so `Workers: 1` keeps bit-for-bit seed reproducibility.
+func resolveWorkers(w int) int {
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// shardRange splits n items into w contiguous shards and returns the
+// half-open range of shard k. The first n%w shards get one extra item, so
+// the assignment is deterministic for any fixed (n, w) — gradient reduction
+// in shard order therefore sums in a fixed order run over run.
+func shardRange(n, w, k int) (lo, hi int) {
+	base := n / w
+	rem := n % w
+	lo = k*base + min(k, rem)
+	hi = lo + base
+	if k < rem {
+		hi++
+	}
+	return lo, hi
+}

@@ -1,0 +1,33 @@
+package tree
+
+import "runtime"
+
+// parallelSplitCutoff is the minimum node size (rows in the presorted range)
+// before bestSplit shards its feature scan across goroutines. Below it the
+// per-node goroutine handoff costs more than the scan itself.
+const parallelSplitCutoff = 2048
+
+// resolveWorkers maps a public Workers knob to an effective worker count:
+// 0 (the default) uses every CPU, anything below 1 degrades to serial.
+func resolveWorkers(w int) int {
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// shardRange splits n items into w contiguous shards and returns shard k's
+// half-open range. The first n%w shards get one extra item.
+func shardRange(n, w, k int) (lo, hi int) {
+	base := n / w
+	ext := n % w
+	lo = k*base + min(k, ext)
+	hi = lo + base
+	if k < ext {
+		hi++
+	}
+	return lo, hi
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"highrpm/internal/mat"
 	"highrpm/internal/model"
@@ -33,8 +34,14 @@ type Regressor struct {
 	MaxFeatures int    `json:"max_features"`
 	Seed        int64  `json:"seed"`
 	Nodes       []Node `json:"nodes"`
+	// Workers bounds the goroutines used to scan split candidates on large
+	// nodes: 0 uses every CPU, 1 forces the serial path. Either way the
+	// fitted tree is bit-identical — the feature scan is reduced in fixed
+	// feature order. Never persisted.
+	Workers int `json:"-"`
 
 	rng *rand.Rand
+	par int // resolved worker count for the current Fit
 }
 
 // NewRegressor returns a tree with scikit-like defaults
@@ -45,6 +52,9 @@ func NewRegressor() *Regressor { return &Regressor{MinSamplesLeaf: 1} }
 // sample indices of the current node's range sorted by that feature. The
 // arrays are stable-partitioned on each split, so no node ever re-sorts —
 // total work is O(n·features·depth) instead of O(n log n·features·nodes).
+// A workspace is rebindable: Forest reuses one per worker across member
+// trees and GradientBoosting reuses one across stages, so ensemble fits
+// stop re-allocating O(rows·features) index state per tree.
 type workspace struct {
 	x *mat.Dense
 	y []float64
@@ -54,40 +64,84 @@ type workspace struct {
 	scratch []int32
 	// left flags per sample index whether it goes to the left child.
 	left []bool
+	// keys buffers one feature column during the presort.
+	keys []float64
+	// featGain/featThr hold per-feature results of a parallel split scan.
+	featGain []float64
+	featThr  []float64
+}
+
+// indexByKey sorts sample indices by their key (one feature column). A
+// concrete sort.Interface keeps the presort allocation-free per call: unlike
+// a sort.Slice closure it needs no per-invocation func value, and comparing
+// through a flat key slice replaces two matrix lookups per comparison.
+type indexByKey struct {
+	idx []int32
+	key []float64
+}
+
+func (s indexByKey) Len() int           { return len(s.idx) }
+func (s indexByKey) Less(a, b int) bool { return s.key[s.idx[a]] < s.key[s.idx[b]] }
+func (s indexByKey) Swap(a, b int)      { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// bind points the workspace at a dataset and rebuilds the presorted index
+// arrays, growing buffers only when the shape exceeds anything seen before.
+func (ws *workspace) bind(x *mat.Dense, y []float64) {
+	r, c := x.Dims()
+	ws.x, ws.y = x, y
+	if cap(ws.scratch) < r {
+		ws.scratch = make([]int32, r)
+		ws.left = make([]bool, r)
+		ws.keys = make([]float64, r)
+	}
+	ws.scratch, ws.left, ws.keys = ws.scratch[:r], ws.left[:r], ws.keys[:r]
+	for len(ws.sorted) < c {
+		ws.sorted = append(ws.sorted, nil)
+	}
+	ws.sorted = ws.sorted[:c]
+	if cap(ws.featGain) < c {
+		ws.featGain = make([]float64, c)
+		ws.featThr = make([]float64, c)
+	}
+	ws.featGain, ws.featThr = ws.featGain[:c], ws.featThr[:c]
+	for j := 0; j < c; j++ {
+		if cap(ws.sorted[j]) < r {
+			ws.sorted[j] = make([]int32, r)
+		}
+		idx := ws.sorted[j][:r]
+		ws.sorted[j] = idx
+		for i := range idx {
+			idx[i] = int32(i)
+			ws.keys[i] = x.At(i, j)
+		}
+		sort.Sort(indexByKey{idx: idx, key: ws.keys})
+	}
 }
 
 // Fit grows the tree on the rows of x against targets y.
 func (t *Regressor) Fit(x *mat.Dense, y []float64) error {
-	r, c := x.Dims()
+	r, _ := x.Dims()
 	if r != len(y) {
 		return fmt.Errorf("tree: %d rows vs %d targets", r, len(y))
 	}
 	if r == 0 {
 		return fmt.Errorf("tree: empty training set")
 	}
+	ws := &workspace{}
+	ws.bind(x, y)
+	t.fitBound(ws)
+	return nil
+}
+
+// fitBound grows the tree using a workspace already bound to its dataset.
+func (t *Regressor) fitBound(ws *workspace) {
 	if t.MinSamplesLeaf <= 0 {
 		t.MinSamplesLeaf = 1
 	}
 	t.rng = rand.New(rand.NewSource(t.Seed))
-	ws := &workspace{
-		x: x, y: y,
-		sorted:  make([][]int32, c),
-		scratch: make([]int32, r),
-		left:    make([]bool, r),
-	}
-	for j := 0; j < c; j++ {
-		idx := make([]int32, r)
-		for i := range idx {
-			idx[i] = int32(i)
-		}
-		sort.Slice(idx, func(a, b int) bool {
-			return x.At(int(idx[a]), j) < x.At(int(idx[b]), j)
-		})
-		ws.sorted[j] = idx
-	}
+	t.par = resolveWorkers(t.Workers)
 	t.Nodes = t.Nodes[:0]
-	t.grow(ws, 0, r, 1)
-	return nil
+	t.grow(ws, 0, len(ws.y), 1)
 }
 
 // grow builds the subtree over the presorted range [lo, hi) and returns its
@@ -131,7 +185,11 @@ func meanSSE(ws *workspace, lo, hi int) (mean, sse float64) {
 }
 
 // bestSplit scans candidate features for the split maximising variance
-// reduction over the presorted range.
+// reduction over the presorted range. Large nodes shard the feature scan
+// across goroutines; per-feature results are reduced in fixed feature order
+// with a strict > comparison, which selects exactly the candidate the serial
+// scan selects (the first boundary, in scan order, attaining the maximum
+// gain), so parallel and serial fits are bit-identical.
 func (t *Regressor) bestSplit(ws *workspace, lo, hi int, parentSSE float64) (feat int, thr, gain float64) {
 	_, cols := ws.x.Dims()
 	features := make([]int, cols)
@@ -149,36 +207,72 @@ func (t *Regressor) bestSplit(ws *workspace, lo, hi int, parentSSE float64) (fea
 		sumSqAll += ws.y[i] * ws.y[i]
 	}
 	feat = -1
-	for _, j := range features {
-		order := ws.sorted[j][lo:hi]
-		// Prefix scan: evaluate every boundary between distinct values.
-		var sumL, sumSqL float64
-		for k := 0; k < n-1; k++ {
-			yi := ws.y[order[k]]
-			sumL += yi
-			sumSqL += yi * yi
-			xv := ws.x.At(int(order[k]), j)
-			nx := ws.x.At(int(order[k+1]), j)
-			if nx <= xv {
-				continue // cannot split between equal values
-			}
-			nl := float64(k + 1)
-			nr := float64(n - k - 1)
-			if int(nl) < t.MinSamplesLeaf || int(nr) < t.MinSamplesLeaf {
+	if w := min(t.par, len(features)); w > 1 && n >= parallelSplitCutoff {
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			flo, fhi := shardRange(len(features), w, k)
+			if flo >= fhi {
 				continue
 			}
-			sseL := sumSqL - sumL*sumL/nl
-			sumR := sumAll - sumL
-			sseR := (sumSqAll - sumSqL) - sumR*sumR/nr
-			g := parentSSE - sseL - sseR
-			if g > gain {
-				gain = g
-				feat = j
-				thr = 0.5 * (xv + nx)
+			wg.Add(1)
+			go func(flo, fhi int) {
+				defer wg.Done()
+				for fi := flo; fi < fhi; fi++ {
+					ws.featGain[fi], ws.featThr[fi] =
+						t.scanFeature(ws, lo, hi, features[fi], parentSSE, sumAll, sumSqAll)
+				}
+			}(flo, fhi)
+		}
+		wg.Wait()
+		for fi, j := range features {
+			if ws.featGain[fi] > gain {
+				gain, feat, thr = ws.featGain[fi], j, ws.featThr[fi]
 			}
+		}
+		return feat, thr, gain
+	}
+	for _, j := range features {
+		g, th := t.scanFeature(ws, lo, hi, j, parentSSE, sumAll, sumSqAll)
+		if g > gain {
+			gain, feat, thr = g, j, th
 		}
 	}
 	return feat, thr, gain
+}
+
+// scanFeature evaluates every split boundary of one feature over the
+// presorted range, returning the best gain (0 if no valid boundary) and its
+// threshold. Within a feature the strict > keeps the first boundary
+// attaining the feature's maximum gain, matching the legacy global scan.
+func (t *Regressor) scanFeature(ws *workspace, lo, hi, j int, parentSSE, sumAll, sumSqAll float64) (gain, thr float64) {
+	order := ws.sorted[j][lo:hi]
+	n := hi - lo
+	// Prefix scan: evaluate every boundary between distinct values.
+	var sumL, sumSqL float64
+	for k := 0; k < n-1; k++ {
+		yi := ws.y[order[k]]
+		sumL += yi
+		sumSqL += yi * yi
+		xv := ws.x.At(int(order[k]), j)
+		nx := ws.x.At(int(order[k+1]), j)
+		if nx <= xv {
+			continue // cannot split between equal values
+		}
+		nl := float64(k + 1)
+		nr := float64(n - k - 1)
+		if int(nl) < t.MinSamplesLeaf || int(nr) < t.MinSamplesLeaf {
+			continue
+		}
+		sseL := sumSqL - sumL*sumL/nl
+		sumR := sumAll - sumL
+		sseR := (sumSqAll - sumSqL) - sumR*sumR/nr
+		g := parentSSE - sseL - sseR
+		if g > gain {
+			gain = g
+			thr = 0.5 * (xv + nx)
+		}
+	}
+	return gain, thr
 }
 
 // partition stable-partitions every feature's presorted range so left-child
@@ -253,6 +347,11 @@ type Forest struct {
 	MaxFeatures int          `json:"max_features"` // 0: ceil(cols/3), sklearn-style for regression
 	Seed        int64        `json:"seed"`
 	Trees       []*Regressor `json:"trees"`
+	// Workers bounds the goroutines fitting member trees: 0 uses every CPU,
+	// 1 fits serially. Bootstrap draws and member seeds are taken from the
+	// forest rng before any tree is grown, so the fitted forest is identical
+	// at every worker count. Never persisted.
+	Workers int `json:"-"`
 }
 
 // NewForest returns a Random Forest with the paper's 10 trees.
@@ -269,6 +368,9 @@ func (f *Forest) Fit(x *mat.Dense, y []float64) error {
 	if r != len(y) {
 		return fmt.Errorf("tree: %d rows vs %d targets", r, len(y))
 	}
+	if r == 0 {
+		return fmt.Errorf("tree: empty training set")
+	}
 	maxFeat := f.MaxFeatures
 	if maxFeat <= 0 {
 		maxFeat = (c + 2) / 3
@@ -278,8 +380,15 @@ func (f *Forest) Fit(x *mat.Dense, y []float64) error {
 	}
 	rng := rand.New(rand.NewSource(f.Seed))
 	f.Trees = make([]*Regressor, f.NumTrees)
+	// Draw every bootstrap sample and member seed serially, in the same rng
+	// order as the legacy loop, so the fitted forest does not depend on how
+	// many workers grow the trees afterwards.
+	type bootstrap struct {
+		bx *mat.Dense
+		by []float64
+	}
+	boots := make([]bootstrap, f.NumTrees)
 	for k := range f.Trees {
-		// Bootstrap sample.
 		bx := mat.NewDense(r, c)
 		by := make([]float64, r)
 		for i := 0; i < r; i++ {
@@ -287,15 +396,38 @@ func (f *Forest) Fit(x *mat.Dense, y []float64) error {
 			copy(bx.Row(i), x.Row(j))
 			by[i] = y[j]
 		}
+		boots[k] = bootstrap{bx: bx, by: by}
 		t := NewRegressor()
 		t.MaxDepth = f.MaxDepth
 		t.MaxFeatures = maxFeat
 		t.Seed = rng.Int63()
-		if err := t.Fit(bx, by); err != nil {
-			return fmt.Errorf("tree: forest member %d: %w", k, err)
-		}
+		t.Workers = 1 // the forest parallelises at tree granularity
 		f.Trees[k] = t
 	}
+	w := min(resolveWorkers(f.Workers), f.NumTrees)
+	if w <= 1 {
+		// Serial path: one workspace rebinds across members, so a forest fit
+		// allocates its presorted index state once instead of per tree.
+		ws := &workspace{}
+		for k, t := range f.Trees {
+			ws.bind(boots[k].bx, boots[k].by)
+			t.fitBound(ws)
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ws := &workspace{} // per-worker, rebinds across this worker's trees
+			for k := g; k < f.NumTrees; k += w {
+				ws.bind(boots[k].bx, boots[k].by)
+				f.Trees[k].fitBound(ws)
+			}
+		}(g)
+	}
+	wg.Wait()
 	return nil
 }
 
@@ -320,6 +452,10 @@ type GradientBoosting struct {
 	Seed         int64        `json:"seed"`
 	Base         float64      `json:"base"`
 	Trees        []*Regressor `json:"trees"`
+	// Workers is passed to each stage tree's split scan (stages themselves
+	// are inherently sequential: each fits the previous stages' residuals).
+	// Never persisted.
+	Workers int `json:"-"`
 }
 
 // NewGradientBoosting returns a GB ensemble with the paper's 10 trees and
@@ -337,6 +473,9 @@ func (g *GradientBoosting) Fit(x *mat.Dense, y []float64) error {
 	if r != len(y) {
 		return fmt.Errorf("tree: %d rows vs %d targets", r, len(y))
 	}
+	if r == 0 {
+		return fmt.Errorf("tree: empty training set")
+	}
 	if g.LearningRate <= 0 {
 		g.LearningRate = 0.1
 	}
@@ -351,17 +490,30 @@ func (g *GradientBoosting) Fit(x *mat.Dense, y []float64) error {
 	}
 	rng := rand.New(rand.NewSource(g.Seed))
 	g.Trees = make([]*Regressor, 0, g.NumTrees)
+	// Every stage fits the same x, so presort once and snapshot the pristine
+	// index order; later stages restore it with an O(rows·features) copy
+	// instead of re-sorting.
+	ws := &workspace{}
+	ws.bind(x, resid)
+	pristine := make([][]int32, len(ws.sorted))
+	for j, s := range ws.sorted {
+		pristine[j] = append([]int32(nil), s...)
+	}
 	for k := 0; k < g.NumTrees; k++ {
 		for i := range resid {
 			resid[i] = y[i] - pred[i]
+		}
+		if k > 0 {
+			for j := range ws.sorted {
+				copy(ws.sorted[j], pristine[j])
+			}
 		}
 		t := NewRegressor()
 		t.MaxDepth = g.MaxDepth
 		t.MinSamplesLeaf = 2
 		t.Seed = rng.Int63()
-		if err := t.Fit(x, resid); err != nil {
-			return fmt.Errorf("tree: boosting stage %d: %w", k, err)
-		}
+		t.Workers = g.Workers
+		t.fitBound(ws)
 		g.Trees = append(g.Trees, t)
 		for i := 0; i < r; i++ {
 			pred[i] += g.LearningRate * t.Predict(x.Row(i))
