@@ -7,9 +7,17 @@
 // Usage:
 //
 //	highrpm-monitor [-model highrpm-model.json] [-nodes 2] [-bench HPCC/FFT]
-//	                [-duration 60] [-miss 10]
+//	                [-duration 60] [-miss 10] [-read-timeout 5m] [-max-conns 0]
+//	                [-resilient]
 //
 // Without -model a small model is trained in-process first (~seconds).
+//
+// The service-hardening flags map onto ServiceOptions: -read-timeout reaps
+// connections that go silent, -write-timeout bounds each reply, -max-frame
+// caps one wire frame, and -max-conns drops connections beyond the cap at
+// accept time. -resilient switches the simulated agents to the
+// fault-tolerant client, which reconnects with backoff and falls back to
+// local inference when the service is unreachable.
 package main
 
 import (
@@ -31,6 +39,12 @@ func main() {
 		retain    = flag.Int("retain", 0, "history retention in points per resolution (0: library defaults)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		quiet     = flag.Bool("quiet", false, "only print the final summary")
+
+		readTimeout  = flag.Duration("read-timeout", highrpm.DefaultServiceOptions().ReadTimeout, "reap a connection after this long without a message (0: never)")
+		writeTimeout = flag.Duration("write-timeout", highrpm.DefaultServiceOptions().WriteTimeout, "bound writing one reply (0: unbounded)")
+		maxFrame     = flag.Int("max-frame", highrpm.DefaultServiceOptions().MaxFrame, "largest wire frame in bytes")
+		maxConns     = flag.Int("max-conns", 0, "concurrent connection cap (0: unlimited)")
+		resilient    = flag.Bool("resilient", false, "use fault-tolerant agents (reconnect + degraded-mode fallback)")
 	)
 	flag.Parse()
 
@@ -39,7 +53,12 @@ func main() {
 		fatal(err)
 	}
 
-	svc := highrpm.NewService(model)
+	svc := highrpm.NewServiceWith(model, highrpm.ServiceOptions{
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		MaxFrame:     *maxFrame,
+		MaxConns:     *maxConns,
+	})
 	if *retain > 0 {
 		opts := highrpm.DefaultStoreOptions()
 		opts.RetainRaw, opts.Retain10s, opts.Retain60s = *retain, *retain, *retain
@@ -74,7 +93,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			agent, err := highrpm.DialService(svc.Addr(), nodeID)
+			agent, err := dialAgent(svc.Addr(), nodeID, *resilient)
 			if err != nil {
 				fatal(err)
 			}
@@ -124,6 +143,20 @@ func main() {
 	fmt.Printf("store: %d series, %d raw points, %d bytes (%.2f B/point, %.1fx vs 16 B uncompressed)\n",
 		ss.Series, ss.Points, ss.Bytes, ss.BytesPerPoint, ss.CompressionRatio)
 	fmt.Printf("query history with: highrpm-query -addr %s -node node-00 -channel p_cpu -res 10\n", svc.Addr())
+}
+
+// sender is the part of Agent / ResilientAgent the monitor loop needs.
+type sender interface {
+	Send(t float64, pmc []float64, measured *float64) (highrpm.Estimate, error)
+	Close() error
+}
+
+// dialAgent connects either the plain agent or the fault-tolerant one.
+func dialAgent(addr, nodeID string, resilient bool) (sender, error) {
+	if resilient {
+		return highrpm.DialResilientService(addr, nodeID, highrpm.DefaultAgentOptions())
+	}
+	return highrpm.DialService(addr, nodeID)
 }
 
 // loadOrTrain loads a persisted model or trains a compact one in-process.

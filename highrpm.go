@@ -191,8 +191,22 @@ func Evaluate(observed, predicted []float64) Metrics { return stats.Evaluate(obs
 type (
 	// Service is the control-node HighRPM service shared by compute nodes.
 	Service = cluster.Service
+	// ServiceOptions hardens a Service against slow, dead, or hostile
+	// peers: per-connection read/write deadlines, a frame-size cap, and a
+	// connection cap.
+	ServiceOptions = cluster.ServiceOptions
 	// Agent is a compute-node client of the service.
 	Agent = cluster.Agent
+	// ResilientAgent wraps Agent with reconnection, bounded retries, and
+	// the §6.4.6 degraded-mode fallback to local inference.
+	ResilientAgent = cluster.ResilientAgent
+	// AgentOptions tunes a ResilientAgent's backoff, retry, and buffering
+	// behaviour.
+	AgentOptions = cluster.AgentOptions
+	// AgentCounters reports a ResilientAgent's lifetime activity.
+	AgentCounters = cluster.AgentCounters
+	// AgentMode is a ResilientAgent's health state (connected or degraded).
+	AgentMode = cluster.Mode
 	// Estimate is the service's restored power for one sample.
 	Estimate = cluster.Estimate
 	// QueryRequest asks the service for a window of stored power history.
@@ -203,11 +217,43 @@ type (
 	SeriesPoint = cluster.SeriesPoint
 )
 
-// NewService wraps a trained model as a network service.
+// ResilientAgent modes.
+const (
+	// AgentConnected: the agent is talking to the service.
+	AgentConnected = cluster.ModeConnected
+	// AgentDegraded: the service is unreachable; estimates are computed
+	// locally from the fetched model snapshot and samples are buffered for
+	// replay.
+	AgentDegraded = cluster.ModeDegraded
+)
+
+// ErrFrameTooLarge reports a wire frame over the configured size cap.
+var ErrFrameTooLarge = cluster.ErrFrameTooLarge
+
+// NewService wraps a trained model as a network service with default
+// robustness options.
 func NewService(m *Model) *Service { return cluster.NewService(m) }
+
+// NewServiceWith wraps a trained model as a network service with explicit
+// robustness options.
+func NewServiceWith(m *Model, opts ServiceOptions) *Service { return cluster.NewServiceWith(m, opts) }
+
+// DefaultServiceOptions returns the deployment defaults for ServiceOptions.
+func DefaultServiceOptions() ServiceOptions { return cluster.DefaultServiceOptions() }
 
 // DialService connects a compute-node agent to the service.
 func DialService(addr, nodeID string) (*Agent, error) { return cluster.Dial(addr, nodeID) }
+
+// DialResilientService connects a fault-tolerant agent: it reconnects with
+// jittered exponential backoff, retries failed sends, and after repeated
+// failures serves estimates locally from the fetched model while buffering
+// samples for replay.
+func DialResilientService(addr, nodeID string, opts AgentOptions) (*ResilientAgent, error) {
+	return cluster.DialResilient(addr, nodeID, opts)
+}
+
+// DefaultAgentOptions returns the deployment defaults for AgentOptions.
+func DefaultAgentOptions() AgentOptions { return cluster.DefaultAgentOptions() }
 
 // Time-series store: the embedded, Gorilla-compressed power-history
 // substrate behind Service (queryable over TCP via Agent.Query and the

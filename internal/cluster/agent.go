@@ -4,12 +4,15 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"time"
 
 	"highrpm/internal/core"
 )
 
 // Agent is a compute-node client of the HighRPM service. It is not safe
-// for concurrent use; run one agent per node goroutine.
+// for concurrent use; run one agent per node goroutine. For automatic
+// reconnects and the §6.4.6 degraded-mode fallback, wrap the connection in
+// a ResilientAgent instead.
 type Agent struct {
 	nodeID string
 	conn   net.Conn
@@ -19,11 +22,21 @@ type Agent struct {
 
 // Dial connects an agent to the service and registers the node.
 func Dial(addr, nodeID string) (*Agent, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, nodeID, 0)
+}
+
+// DialTimeout connects like Dial but bounds both the TCP dial and the
+// Hello handshake by timeout (0 disables the bound, matching Dial).
+func DialTimeout(addr, nodeID string, timeout time.Duration) (*Agent, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
 	a := &Agent{nodeID: nodeID, conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+		defer conn.SetDeadline(time.Time{})
+	}
 	if err := WriteMsg(a.w, KindHello, Hello{NodeID: nodeID}); err != nil {
 		conn.Close()
 		return nil, err
@@ -47,8 +60,13 @@ func Dial(addr, nodeID string) (*Agent, error) {
 // NodeID returns the registered node identity.
 func (a *Agent) NodeID() string { return a.nodeID }
 
+// setDeadline bounds the next request round trip (zero time clears it).
+func (a *Agent) setDeadline(t time.Time) { a.conn.SetDeadline(t) }
+
 // Send streams one second of telemetry and returns the service's estimate.
 // measured carries this second's IPMI reading if one arrived (nil usually).
+// A *ServiceError return means the service rejected the sample but the
+// connection is still healthy.
 func (a *Agent) Send(t float64, pmc []float64, measured *float64) (Estimate, error) {
 	smp := Sample{NodeID: a.nodeID, Time: t, PMC: pmc, Measured: measured}
 	if err := WriteMsg(a.w, KindSample, smp); err != nil {
@@ -73,7 +91,7 @@ func (a *Agent) Send(t float64, pmc []float64, measured *float64) (Estimate, err
 		if err := DecodeBody(env, &eb); err != nil {
 			return Estimate{}, err
 		}
-		return Estimate{}, fmt.Errorf("cluster: service error: %s", eb.Message)
+		return Estimate{}, &ServiceError{Message: eb.Message}
 	default:
 		return Estimate{}, fmt.Errorf("cluster: unexpected reply kind %q", env.Kind)
 	}
@@ -127,7 +145,7 @@ func (a *Agent) Query(req QueryRequest) (SeriesBody, error) {
 		if err := DecodeBody(env, &eb); err != nil {
 			return SeriesBody{}, err
 		}
-		return SeriesBody{}, fmt.Errorf("cluster: service error: %s", eb.Message)
+		return SeriesBody{}, &ServiceError{Message: eb.Message}
 	default:
 		return SeriesBody{}, fmt.Errorf("cluster: unexpected reply kind %q", env.Kind)
 	}
@@ -158,7 +176,7 @@ func (a *Agent) FetchModel() (*core.HighRPM, error) {
 		if err := DecodeBody(env, &eb); err != nil {
 			return nil, err
 		}
-		return nil, fmt.Errorf("cluster: service error: %s", eb.Message)
+		return nil, &ServiceError{Message: eb.Message}
 	default:
 		return nil, fmt.Errorf("cluster: unexpected reply kind %q", env.Kind)
 	}

@@ -21,7 +21,7 @@ var (
 	modelErr  error
 )
 
-func sharedModel(t *testing.T) *core.HighRPM {
+func sharedModel(t testing.TB) *core.HighRPM {
 	t.Helper()
 	modelOnce.Do(func() {
 		cfg := dataset.DefaultGenerateConfig()
@@ -47,9 +47,13 @@ func sharedModel(t *testing.T) *core.HighRPM {
 	return testModel
 }
 
-func startService(t *testing.T) *Service {
+func startService(t testing.TB) *Service {
+	return startServiceWith(t, DefaultServiceOptions())
+}
+
+func startServiceWith(t testing.TB, opts ServiceOptions) *Service {
 	t.Helper()
-	svc := NewService(sharedModel(t))
+	svc := NewServiceWith(sharedModel(t), opts)
 	svc.Logf = t.Logf
 	if err := svc.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
@@ -59,6 +63,7 @@ func startService(t *testing.T) *Service {
 }
 
 func TestServiceAgentRoundTrip(t *testing.T) {
+	checkNoLeaks(t)
 	svc := startService(t)
 	agent, err := Dial(svc.Addr(), "node-a")
 	if err != nil {
@@ -113,6 +118,7 @@ func TestServiceAgentRoundTrip(t *testing.T) {
 }
 
 func TestServiceIsolatesNodes(t *testing.T) {
+	checkNoLeaks(t)
 	svc := startService(t)
 	a, err := Dial(svc.Addr(), "node-1")
 	if err != nil {
@@ -157,6 +163,7 @@ func TestServiceIsolatesNodes(t *testing.T) {
 }
 
 func TestServiceRejectsBadSample(t *testing.T) {
+	checkNoLeaks(t)
 	svc := startService(t)
 	agent, err := Dial(svc.Addr(), "node-x")
 	if err != nil {
@@ -175,6 +182,7 @@ func TestServiceRejectsBadSample(t *testing.T) {
 }
 
 func TestServiceUnknownKind(t *testing.T) {
+	checkNoLeaks(t)
 	svc := startService(t)
 	conn, err := net.Dial("tcp", svc.Addr())
 	if err != nil {
@@ -198,6 +206,7 @@ func TestServiceUnknownKind(t *testing.T) {
 }
 
 func TestProtocolFrameRoundTrip(t *testing.T) {
+	checkNoLeaks(t)
 	var buf bytes.Buffer
 	want := Sample{NodeID: "n", Time: 3, PMC: []float64{1, 2, 3}}
 	if err := WriteMsg(&buf, KindSample, want); err != nil {
@@ -217,6 +226,7 @@ func TestProtocolFrameRoundTrip(t *testing.T) {
 }
 
 func TestProtocolOversizedFrameRejected(t *testing.T) {
+	checkNoLeaks(t)
 	var buf bytes.Buffer
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GiB frame length
 	if _, err := ReadMsg(bufio.NewReader(&buf)); err == nil {
@@ -225,12 +235,14 @@ func TestProtocolOversizedFrameRejected(t *testing.T) {
 }
 
 func TestDialUnreachable(t *testing.T) {
+	checkNoLeaks(t)
 	if _, err := Dial("127.0.0.1:1", "x"); err == nil {
 		t.Fatal("expected dial error")
 	}
 }
 
 func TestAgentFetchModel(t *testing.T) {
+	checkNoLeaks(t)
 	svc := startService(t)
 	agent, err := Dial(svc.Addr(), "fetcher")
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 // deployment layer).
 
 func TestServiceSurvivesAbruptDisconnect(t *testing.T) {
+	checkNoLeaks(t)
 	svc := startService(t)
 	// Connect and slam the connection shut mid-handshake.
 	conn, err := net.Dial("tcp", svc.Addr())
@@ -37,6 +38,7 @@ func TestServiceSurvivesAbruptDisconnect(t *testing.T) {
 }
 
 func TestServiceRejectsOversizedFrame(t *testing.T) {
+	checkNoLeaks(t)
 	svc := startService(t)
 	conn, err := net.Dial("tcp", svc.Addr())
 	if err != nil {
@@ -62,6 +64,7 @@ func TestServiceRejectsOversizedFrame(t *testing.T) {
 }
 
 func TestServiceSurvivesGarbageJSON(t *testing.T) {
+	checkNoLeaks(t)
 	svc := startService(t)
 	conn, err := net.Dial("tcp", svc.Addr())
 	if err != nil {
@@ -82,6 +85,7 @@ func TestServiceSurvivesGarbageJSON(t *testing.T) {
 }
 
 func TestServiceCloseUnblocksAgents(t *testing.T) {
+	checkNoLeaks(t)
 	svc := NewService(sharedModel(t))
 	svc.Logf = t.Logf
 	if err := svc.Listen("127.0.0.1:0"); err != nil {
@@ -121,6 +125,7 @@ func TestServiceCloseUnblocksAgents(t *testing.T) {
 }
 
 func TestReadMsgTruncatedBody(t *testing.T) {
+	checkNoLeaks(t)
 	conn1, conn2 := net.Pipe()
 	go func() {
 		conn1.Write([]byte{0, 0, 0, 50, 'x'}) // claims 50 bytes, sends 1

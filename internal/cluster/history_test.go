@@ -44,6 +44,7 @@ func streamSamples(t *testing.T, agent *Agent, n, missInterval int, seed int64) 
 // stream 60 s of telemetry, then fetch a 60 s window of p_cpu at 10 s
 // rollup over TCP and check it against the live estimates.
 func TestServiceRecordsAndServesHistory(t *testing.T) {
+	checkNoLeaks(t)
 	svc := startService(t)
 	agent, err := Dial(svc.Addr(), "node-h")
 	if err != nil {
@@ -123,6 +124,7 @@ func TestServiceRecordsAndServesHistory(t *testing.T) {
 // TestServiceAggregateQuery sums a channel across nodes with an empty
 // NodeID.
 func TestServiceAggregateQuery(t *testing.T) {
+	checkNoLeaks(t)
 	svc := startService(t)
 	a, err := Dial(svc.Addr(), "agg-1")
 	if err != nil {
@@ -155,6 +157,7 @@ func TestServiceAggregateQuery(t *testing.T) {
 // TestServiceQueryErrors: bad channel / node / resolution come back as
 // KindError without killing the connection.
 func TestServiceQueryErrors(t *testing.T) {
+	checkNoLeaks(t)
 	svc := startService(t)
 	agent, err := Dial(svc.Addr(), "node-q")
 	if err != nil {
@@ -181,6 +184,7 @@ func TestServiceQueryErrors(t *testing.T) {
 // the per-connection handlers, seals the open rollup buckets, and leaves
 // the store queryable but read-only.
 func TestServiceCloseFlushesStore(t *testing.T) {
+	checkNoLeaks(t)
 	svc := NewService(sharedModel(t))
 	svc.Logf = func(string, ...any) {}
 	if err := svc.Listen("127.0.0.1:0"); err != nil {
@@ -212,6 +216,7 @@ func TestServiceCloseFlushesStore(t *testing.T) {
 // TestServiceSetStore: a custom-sized store (the monitor CLI's -retain
 // flag) is honoured and enforces retention.
 func TestServiceSetStore(t *testing.T) {
+	checkNoLeaks(t)
 	svc := NewService(sharedModel(t))
 	svc.Logf = func(string, ...any) {}
 	opts := tsdb.Options{BlockPoints: 16, RetainRaw: 40, Retain10s: 40, Retain60s: 40}

@@ -1,0 +1,39 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// checkNoLeaks arms a goroutine-leak assertion for the calling test: at
+// cleanup time the goroutine count must return to (at most) what it was
+// when the test started. Call it first thing in a test, before
+// t.Cleanup-registered servers — cleanups run LIFO, so the leak check runs
+// after every server has shut down.
+//
+// The count is polled with a deadline rather than compared once: handler
+// goroutines finish asynchronously after a listener closes, and the first
+// test in the package also pays the one-off cost of training the shared
+// model (whose worker goroutines wind down on their own schedule).
+func checkNoLeaks(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, n, buf)
+	})
+}

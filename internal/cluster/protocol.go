@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -75,6 +76,10 @@ type Estimate struct {
 	// FromMeasurement reports whether PNode is an IM reading (true) or a
 	// DynamicTRR prediction (false).
 	FromMeasurement bool `json:"from_measurement"`
+	// Local reports that the estimate was computed on the agent from its
+	// fetched model snapshot (the §6.4.6 degraded-mode fallback) rather
+	// than by the service. The service never sets it on wire replies.
+	Local bool `json:"local,omitempty"`
 }
 
 // Stats summarises service activity.
@@ -83,6 +88,18 @@ type Stats struct {
 	Samples   int64 `json:"samples"`
 	Estimates int64 `json:"estimates"`
 	Measured  int64 `json:"measured"`
+	// Conns is the number of currently tracked connections; PeakConns the
+	// highwater mark since the service started.
+	Conns     int `json:"conns"`
+	PeakConns int `json:"peak_conns"`
+	// Rejected counts connections dropped at accept by the MaxConns cap;
+	// TimedOut counts connections reaped by the per-connection read
+	// deadline (dead or blackholed peers).
+	Rejected int64 `json:"rejected"`
+	TimedOut int64 `json:"timed_out"`
+	// NodeConns maps node ID to its live connection count (connections
+	// that have said Hello); nil when no node is connected.
+	NodeConns map[string]int `json:"node_conns,omitempty"`
 	// Store summarises the embedded history store (series count,
 	// compressed bytes, compression ratio).
 	Store tsdb.Stats `json:"store"`
@@ -181,15 +198,36 @@ type ErrorBody struct {
 	Message string `json:"message"`
 }
 
+// ServiceError is a KindError reply decoded by an agent: the transport is
+// healthy but the service rejected the request. ResilientAgent propagates
+// these to the caller instead of reconnecting.
+type ServiceError struct {
+	Message string
+}
+
+// Error renders the service-side message.
+func (e *ServiceError) Error() string { return "cluster: service error: " + e.Message }
+
 // ModelBody carries a serialised model (core.Marshal output).
 type ModelBody struct {
 	Data []byte `json:"data"`
 }
 
-// maxFrame bounds a frame to keep a misbehaving peer from ballooning
-// memory; 8 MiB accommodates model transfers with ample headroom while
-// still rejecting length-prefix garbage.
-const maxFrame = 8 << 20
+// DefaultMaxFrame bounds a frame to keep a misbehaving peer from
+// ballooning memory; 8 MiB accommodates model transfers with ample headroom
+// while still rejecting length-prefix garbage. Service operators can lower
+// the cap per deployment via ServiceOptions.MaxFrame.
+const DefaultMaxFrame = 8 << 20
+
+// ErrFrameTooLarge reports a frame whose length prefix exceeds the
+// configured cap. Both sides use it: ReadMsg refuses to read such a frame
+// and WriteMsg refuses to emit one a default peer would reject.
+var ErrFrameTooLarge = errors.New("cluster: frame exceeds size limit")
+
+// frameChunk is the largest single allocation ReadMsg makes before bytes
+// actually arrive. A peer that claims a huge frame but never sends it costs
+// at most one chunk, not the claimed length.
+const frameChunk = 64 << 10
 
 // WriteMsg frames and writes one message.
 func WriteMsg(w io.Writer, kind MsgKind, body any) error {
@@ -201,6 +239,9 @@ func WriteMsg(w io.Writer, kind MsgKind, body any) error {
 	if err != nil {
 		return err
 	}
+	if len(env) > DefaultMaxFrame {
+		return fmt.Errorf("%w: %s frame is %d bytes, cap %d", ErrFrameTooLarge, kind, len(env), DefaultMaxFrame)
+	}
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(env)))
 	if _, err := w.Write(lenBuf[:]); err != nil {
@@ -210,18 +251,28 @@ func WriteMsg(w io.Writer, kind MsgKind, body any) error {
 	return err
 }
 
-// ReadMsg reads one framed message.
+// ReadMsg reads one framed message, capping frames at DefaultMaxFrame.
 func ReadMsg(r *bufio.Reader) (Envelope, error) {
+	return ReadMsgLimit(r, DefaultMaxFrame)
+}
+
+// ReadMsgLimit reads one framed message, rejecting frames over maxFrame
+// bytes with ErrFrameTooLarge. The frame body is read incrementally so an
+// adversarial length prefix cannot force a large up-front allocation.
+func ReadMsgLimit(r *bufio.Reader, maxFrame int) (Envelope, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return Envelope{}, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n > maxFrame {
-		return Envelope{}, fmt.Errorf("cluster: frame of %d bytes exceeds limit", n)
+	if n > uint32(maxFrame) {
+		return Envelope{}, fmt.Errorf("%w: length prefix claims %d bytes, cap %d", ErrFrameTooLarge, n, maxFrame)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	buf, err := readFrame(r, int(n))
+	if err != nil {
 		return Envelope{}, err
 	}
 	var env Envelope
@@ -229,6 +280,26 @@ func ReadMsg(r *bufio.Reader) (Envelope, error) {
 		return Envelope{}, fmt.Errorf("cluster: bad envelope: %w", err)
 	}
 	return env, nil
+}
+
+// readFrame reads exactly n bytes, growing the buffer only as data arrives
+// (at most frameChunk ahead of what the peer has sent).
+func readFrame(r io.Reader, n int) ([]byte, error) {
+	buf := make([]byte, 0, min(n, frameChunk))
+	for len(buf) < n {
+		take := min(n-len(buf), frameChunk)
+		if cap(buf)-len(buf) < take {
+			grown := make([]byte, len(buf), min(n, 2*cap(buf)+take))
+			copy(grown, buf)
+			buf = grown
+		}
+		m, err := io.ReadFull(r, buf[len(buf):len(buf)+take])
+		buf = buf[:len(buf)+m]
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // DecodeBody unmarshals an envelope body into dst.

@@ -1,0 +1,421 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"highrpm/internal/core"
+)
+
+// Mode reports how a ResilientAgent is currently serving estimates.
+type Mode int32
+
+const (
+	// ModeConnected: estimates come from the service (the normal path).
+	ModeConnected Mode = iota
+	// ModeDegraded: the service is unreachable; estimates come from the
+	// agent's local model snapshot and samples are buffered for replay
+	// (§6.4.6's far-away / congested-network fallback).
+	ModeDegraded
+)
+
+// String names the mode for logs.
+func (m Mode) String() string {
+	if m == ModeDegraded {
+		return "degraded"
+	}
+	return "connected"
+}
+
+// ErrAgentClosed reports use of a ResilientAgent after Close.
+var ErrAgentClosed = errors.New("cluster: resilient agent closed")
+
+// AgentOptions tunes ResilientAgent's reconnect and fallback behaviour.
+type AgentOptions struct {
+	// DialTimeout bounds each TCP dial plus Hello/model handshake.
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request round trip (0: unbounded — not
+	// recommended; a blackholed service then blocks Send forever).
+	RequestTimeout time.Duration
+	// BackoffMin/BackoffMax bound the jittered exponential delay between
+	// recovery attempts: the first retry waits BackoffMin, doubling per
+	// consecutive failure up to BackoffMax.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Jitter spreads each backoff delay by ±Jitter (fraction of the
+	// delay) so a cluster of agents does not reconnect in lockstep.
+	Jitter float64
+	// SendRetries is how many network attempts one Send makes (first try
+	// included) before falling back to the local model.
+	SendRetries int
+	// FailThreshold is how many consecutive Sends must fail before the
+	// agent flips to ModeDegraded and stops trying the network on every
+	// sample (it then only probes on the backoff schedule).
+	FailThreshold int
+	// BufferLimit caps the samples buffered while degraded; beyond it the
+	// oldest sample is dropped (and counted) so memory stays bounded.
+	BufferLimit int
+	// Seed feeds the jitter RNG, keeping backoff sequences reproducible.
+	Seed int64
+}
+
+// DefaultAgentOptions returns production defaults for 1 Sa/s telemetry.
+func DefaultAgentOptions() AgentOptions {
+	return AgentOptions{
+		DialTimeout:    2 * time.Second,
+		RequestTimeout: 5 * time.Second,
+		BackoffMin:     100 * time.Millisecond,
+		BackoffMax:     30 * time.Second,
+		Jitter:         0.2,
+		SendRetries:    2,
+		FailThreshold:  3,
+		BufferLimit:    4096,
+		Seed:           1,
+	}
+}
+
+// AgentCounters snapshots a ResilientAgent's activity.
+type AgentCounters struct {
+	// Sent counts samples acknowledged by the service live (replays not
+	// included).
+	Sent int64
+	// LocalServed counts estimates answered from the local snapshot.
+	LocalServed int64
+	// Buffered counts samples queued for replay (cumulative).
+	Buffered int64
+	// Replayed counts buffered samples later acknowledged by the service.
+	Replayed int64
+	// Dropped counts buffered samples lost to the BufferLimit cap.
+	Dropped int64
+	// Reconnects counts successful re-dials (each includes a fresh Hello
+	// and a model resync).
+	Reconnects int64
+	// DialFailures counts failed dial/handshake attempts.
+	DialFailures int64
+	// SendFailures counts network round trips that errored or timed out.
+	SendFailures int64
+	// Degradations counts connected→degraded flips.
+	Degradations int64
+	// ModelSyncs counts model snapshot fetches (1 from the initial
+	// connect, +1 per reconnect).
+	ModelSyncs int64
+}
+
+// ResilientAgent wraps Agent with reconnection, bounded retries, request
+// deadlines, and the §6.4.6 degraded-mode fallback: after FailThreshold
+// consecutive failures it serves estimates from its last fetched model
+// snapshot, buffers up to BufferLimit samples, and replays them in order
+// (then resyncs the snapshot) once the service is reachable again.
+//
+// Degraded estimates are bit-for-bit what a fresh core.Monitor over the
+// snapshot model would produce for the episode's samples — each degraded
+// episode starts a fresh local monitor, so estimates cold-start from the
+// snapshot's trend midpoint until an IM reading arrives, exactly like a
+// node that never had the service.
+//
+// Like Agent it is not safe for concurrent use; run one per node
+// goroutine. Send never returns transport errors — only *ServiceError
+// (the service rejected the sample) or a local-inference error escapes.
+type ResilientAgent struct {
+	addr   string
+	nodeID string
+	opts   AgentOptions
+
+	agent    *Agent        // nil while disconnected
+	model    *core.HighRPM // last fetched snapshot
+	localMon *core.Monitor // per-episode fallback monitor (nil between episodes)
+	buffer   []Sample      // degraded samples awaiting replay, oldest first
+	mode     Mode
+	closed   bool
+
+	consecFails int // consecutive Sends that fell back locally
+	backoff     time.Duration
+	nextProbe   time.Time // earliest next recovery attempt
+	rng         *rand.Rand
+
+	counters AgentCounters
+}
+
+// DialResilient connects a ResilientAgent to the service: it dials,
+// registers the node, and fetches the model snapshot the degraded-mode
+// fallback will run on. The initial connect must succeed — without a
+// snapshot there is nothing to degrade to.
+func DialResilient(addr, nodeID string, opts AgentOptions) (*ResilientAgent, error) {
+	if opts.SendRetries < 1 {
+		opts.SendRetries = 1
+	}
+	if opts.FailThreshold < 1 {
+		opts.FailThreshold = 1
+	}
+	if opts.BufferLimit < 1 {
+		opts.BufferLimit = 1
+	}
+	if opts.BackoffMin <= 0 {
+		opts.BackoffMin = time.Millisecond
+	}
+	if opts.BackoffMax < opts.BackoffMin {
+		opts.BackoffMax = opts.BackoffMin
+	}
+	ra := &ResilientAgent{
+		addr:    addr,
+		nodeID:  nodeID,
+		opts:    opts,
+		backoff: opts.BackoffMin,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+	agent, model, err := ra.connect()
+	if err != nil {
+		return nil, err
+	}
+	ra.agent, ra.model = agent, model
+	ra.counters.ModelSyncs++
+	return ra, nil
+}
+
+// connect dials, says Hello, and fetches a model snapshot. The whole
+// handshake is bounded by DialTimeout: once for dial+Hello, once more for
+// the model fetch (models are bigger than samples, so RequestTimeout would
+// be too tight a bound on a slow link).
+func (ra *ResilientAgent) connect() (*Agent, *core.HighRPM, error) {
+	agent, err := DialTimeout(ra.addr, ra.nodeID, ra.opts.DialTimeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ra.opts.DialTimeout > 0 {
+		agent.setDeadline(time.Now().Add(ra.opts.DialTimeout))
+	}
+	model, err := agent.FetchModel()
+	agent.setDeadline(time.Time{})
+	if err != nil {
+		agent.Close()
+		return nil, nil, fmt.Errorf("cluster: model snapshot: %w", err)
+	}
+	return agent, model, nil
+}
+
+// NodeID returns the registered node identity.
+func (ra *ResilientAgent) NodeID() string { return ra.nodeID }
+
+// Mode reports whether estimates currently come from the service or from
+// the local snapshot.
+func (ra *ResilientAgent) Mode() Mode { return ra.mode }
+
+// Counters snapshots the agent's activity counters.
+func (ra *ResilientAgent) Counters() AgentCounters { return ra.counters }
+
+// Model returns the last fetched model snapshot (never nil after a
+// successful DialResilient).
+func (ra *ResilientAgent) Model() *core.HighRPM { return ra.model }
+
+// Pending reports how many buffered samples still await replay.
+func (ra *ResilientAgent) Pending() int { return len(ra.buffer) }
+
+// Send streams one second of telemetry. It returns the service's estimate
+// when the network cooperates, and otherwise a local-snapshot estimate
+// with Estimate.Local set — transport failures are absorbed, not
+// returned. A *ServiceError (the service rejected the sample over a
+// healthy connection) is returned as-is.
+func (ra *ResilientAgent) Send(t float64, pmc []float64, measured *float64) (Estimate, error) {
+	if ra.closed {
+		return Estimate{}, ErrAgentClosed
+	}
+	smp := Sample{NodeID: ra.nodeID, Time: t, PMC: pmc, Measured: measured}
+	// Degraded fast path: skip the network entirely until a probe is due.
+	if ra.mode == ModeDegraded && time.Now().Before(ra.nextProbe) {
+		return ra.serveLocal(smp)
+	}
+	for attempt := 0; attempt < ra.opts.SendRetries; attempt++ {
+		if !ra.ensureLive() {
+			break
+		}
+		est, err := ra.sendOnce(smp)
+		if err == nil {
+			ra.onHealthy()
+			ra.counters.Sent++
+			return est, nil
+		}
+		var se *ServiceError
+		if errors.As(err, &se) {
+			// The transport is fine; the service said no. Reset failure
+			// accounting and surface the rejection.
+			ra.onHealthy()
+			return Estimate{}, err
+		}
+		ra.counters.SendFailures++
+		ra.failProbe()
+		ra.dropConn()
+	}
+	return ra.serveLocal(smp)
+}
+
+// ensureLive reports whether a connected, fully-replayed link is ready for
+// a live send. It redials (respecting the backoff schedule) and replays
+// the degraded-mode buffer as needed.
+func (ra *ResilientAgent) ensureLive() bool {
+	if ra.agent == nil && !ra.redial() {
+		return false
+	}
+	return ra.replay()
+}
+
+// redial attempts one reconnect if the backoff schedule allows it.
+func (ra *ResilientAgent) redial() bool {
+	if time.Now().Before(ra.nextProbe) {
+		return false
+	}
+	agent, model, err := ra.connect()
+	if err != nil {
+		ra.counters.DialFailures++
+		ra.failProbe()
+		return false
+	}
+	ra.agent, ra.model = agent, model
+	ra.counters.Reconnects++
+	ra.counters.ModelSyncs++
+	return true
+}
+
+// replay drains the degraded-mode buffer in order. Every acknowledged
+// sample leaves the buffer for good; a failure keeps the rest for the next
+// attempt.
+func (ra *ResilientAgent) replay() bool {
+	for len(ra.buffer) > 0 {
+		if _, err := ra.sendOnce(ra.buffer[0]); err != nil {
+			var se *ServiceError
+			if errors.As(err, &se) {
+				// The service rejected a buffered sample (e.g. recorded
+				// with a stale feature layout). It will never be
+				// accepted; drop it rather than wedge the replay.
+				ra.buffer = ra.buffer[1:]
+				ra.counters.Dropped++
+				continue
+			}
+			ra.counters.SendFailures++
+			ra.failProbe()
+			ra.dropConn()
+			return false
+		}
+		ra.buffer = ra.buffer[1:]
+		ra.counters.Replayed++
+	}
+	return true
+}
+
+// sendOnce performs one deadline-bounded sample round trip on the current
+// connection.
+func (ra *ResilientAgent) sendOnce(smp Sample) (Estimate, error) {
+	if ra.opts.RequestTimeout > 0 {
+		ra.agent.setDeadline(time.Now().Add(ra.opts.RequestTimeout))
+		defer ra.agent.setDeadline(time.Time{})
+	}
+	return ra.agent.Send(smp.Time, smp.PMC, smp.Measured)
+}
+
+// serveLocal answers one sample from the model snapshot and buffers it for
+// replay. It also advances the failure accounting that flips the agent to
+// ModeDegraded.
+func (ra *ResilientAgent) serveLocal(smp Sample) (Estimate, error) {
+	ra.consecFails++
+	if ra.mode == ModeConnected && ra.consecFails >= ra.opts.FailThreshold {
+		ra.mode = ModeDegraded
+		ra.counters.Degradations++
+	}
+	if ra.localMon == nil {
+		ra.localMon = core.NewMonitor(ra.model)
+	}
+	est, err := ra.localMon.Push(smp.PMC, smp.Measured)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if len(ra.buffer) >= ra.opts.BufferLimit {
+		ra.buffer = ra.buffer[1:]
+		ra.counters.Dropped++
+	}
+	ra.buffer = append(ra.buffer, smp)
+	ra.counters.Buffered++
+	ra.counters.LocalServed++
+	return Estimate{
+		NodeID: ra.nodeID, Time: smp.Time,
+		PNode: est.PNode, PCPU: est.PCPU, PMEM: est.PMEM,
+		FromMeasurement: est.FromMeasurement,
+		Local:           true,
+	}, nil
+}
+
+// onHealthy records a successful round trip: failure accounting resets,
+// the backoff collapses, and a degraded episode (its buffer was already
+// replayed) ends.
+func (ra *ResilientAgent) onHealthy() {
+	ra.consecFails = 0
+	ra.backoff = ra.opts.BackoffMin
+	ra.nextProbe = time.Time{}
+	ra.localMon = nil
+	if ra.mode == ModeDegraded {
+		ra.mode = ModeConnected
+	}
+}
+
+// failProbe schedules the next recovery attempt with jittered exponential
+// backoff.
+func (ra *ResilientAgent) failProbe() {
+	d := ra.backoff
+	if ra.opts.Jitter > 0 {
+		f := 1 + ra.opts.Jitter*(2*ra.rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	ra.nextProbe = time.Now().Add(d)
+	ra.backoff *= 2
+	if ra.backoff > ra.opts.BackoffMax {
+		ra.backoff = ra.opts.BackoffMax
+	}
+}
+
+// dropConn discards the current connection after a transport failure.
+func (ra *ResilientAgent) dropConn() {
+	if ra.agent != nil {
+		ra.agent.Close()
+		ra.agent = nil
+	}
+}
+
+// Stats fetches service statistics over the current connection (redialing
+// first if necessary). Unlike Send it has no local fallback: when the
+// service is unreachable it returns the transport error.
+func (ra *ResilientAgent) Stats() (Stats, error) {
+	if ra.closed {
+		return Stats{}, ErrAgentClosed
+	}
+	if ra.agent == nil && !ra.redial() {
+		return Stats{}, fmt.Errorf("cluster: disconnected (next probe in %v)", time.Until(ra.nextProbe).Round(time.Millisecond))
+	}
+	if ra.opts.RequestTimeout > 0 {
+		ra.agent.setDeadline(time.Now().Add(ra.opts.RequestTimeout))
+		defer ra.agent.setDeadline(time.Time{})
+	}
+	st, err := ra.agent.Stats()
+	if err != nil {
+		var se *ServiceError
+		if !errors.As(err, &se) {
+			ra.counters.SendFailures++
+			ra.failProbe()
+			ra.dropConn()
+		}
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// Close terminates the connection. Buffered samples not yet replayed are
+// lost; check Pending first if that matters.
+func (ra *ResilientAgent) Close() error {
+	if ra.closed {
+		return nil
+	}
+	ra.closed = true
+	if ra.agent != nil {
+		return ra.agent.Close()
+	}
+	return nil
+}

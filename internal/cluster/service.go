@@ -10,10 +10,42 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"highrpm/internal/core"
 	"highrpm/internal/tsdb"
 )
+
+// ServiceOptions hardens the service against slow, dead, or hostile peers.
+// The zero value disables every limit; DefaultServiceOptions gives the
+// deployment defaults.
+type ServiceOptions struct {
+	// ReadTimeout is the longest the service waits between messages on one
+	// connection before reaping it (0: wait forever). Agents stream
+	// 1 Sa/s, so anything over a few sample intervals means the peer is
+	// gone or blackholed.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one reply (0: no bound). It protects the
+	// handler from a peer that stops draining its socket.
+	WriteTimeout time.Duration
+	// MaxFrame caps one wire frame in bytes (0: DefaultMaxFrame).
+	MaxFrame int
+	// MaxConns caps concurrent connections service-wide (0: unlimited);
+	// excess connections are dropped at accept and counted in
+	// Stats.Rejected.
+	MaxConns int
+}
+
+// DefaultServiceOptions returns the deployment defaults: generous enough
+// for 1 Sa/s telemetry with sparse gaps, tight enough to reap dead peers.
+func DefaultServiceOptions() ServiceOptions {
+	return ServiceOptions{
+		ReadTimeout:  5 * time.Minute,
+		WriteTimeout: time.Minute,
+		MaxFrame:     DefaultMaxFrame,
+		MaxConns:     0,
+	}
+}
 
 // Service is the control-node HighRPM service. One trained model is shared
 // by every compute node; each node gets its own streaming Monitor so power
@@ -23,31 +55,44 @@ import (
 type Service struct {
 	model *core.HighRPM
 	store *tsdb.Store
+	opts  ServiceOptions
 
 	ln     net.Listener
 	mu     sync.Mutex
 	mons   map[string]*core.Monitor
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]string // conn -> node ID ("" before Hello)
+	peak   int
 	closed bool
 	wg     sync.WaitGroup
 
 	samples   atomic.Int64
 	estimates atomic.Int64
 	measured  atomic.Int64
+	rejected  atomic.Int64
+	timedOut  atomic.Int64
 
 	// Logf sinks service logs (defaults to log.Printf).
 	Logf func(format string, args ...any)
 }
 
-// NewService wraps a trained model. The service records history into a
-// store with tsdb.DefaultOptions(); use SetStore before Listen to size it
-// differently.
+// NewService wraps a trained model with DefaultServiceOptions. The service
+// records history into a store with tsdb.DefaultOptions(); use SetStore
+// before Listen to size it differently.
 func NewService(model *core.HighRPM) *Service {
+	return NewServiceWith(model, DefaultServiceOptions())
+}
+
+// NewServiceWith wraps a trained model with explicit robustness options.
+func NewServiceWith(model *core.HighRPM, opts ServiceOptions) *Service {
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = DefaultMaxFrame
+	}
 	return &Service{
 		model: model,
 		store: tsdb.New(tsdb.DefaultOptions()),
+		opts:  opts,
 		mons:  map[string]*core.Monitor{},
-		conns: map[net.Conn]struct{}{},
+		conns: map[net.Conn]string{},
 		Logf:  log.Printf,
 	}
 }
@@ -59,6 +104,9 @@ func (s *Service) SetStore(st *tsdb.Store) { s.store = st }
 // Store exposes the history store for in-process queries (the monitor CLI
 // reads stats from it; tests query it directly).
 func (s *Service) Store() *tsdb.Store { return s.store }
+
+// Options reports the robustness options the service runs with.
+func (s *Service) Options() ServiceOptions { return s.opts }
 
 // Listen starts accepting agents on addr ("host:port"; ":0" picks a free
 // port). It returns immediately; Addr reports the bound address.
@@ -81,12 +129,17 @@ func (s *Service) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener, terminates open agent connections, waits for
-// the handlers to finish, and only then closes the store — so every
-// in-flight sample is flushed into the history (open rollup buckets are
-// sealed) and no per-connection goroutine can write to a closed store.
+// Close stops the listener, terminates open agent connections immediately,
+// waits for the handlers to finish, and only then closes the store — so
+// every in-flight sample is flushed into the history (open rollup buckets
+// are sealed) and no per-connection goroutine can write to a closed store.
+// Use Shutdown for a graceful drain.
 func (s *Service) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
 	s.closed = true
 	for c := range s.conns {
 		c.Close()
@@ -101,15 +154,71 @@ func (s *Service) Close() error {
 	return err
 }
 
+// Shutdown drains the service gracefully: it stops accepting, lets every
+// handler finish the request it is processing (replies are still written),
+// reaps idle connections immediately, and force-closes whatever remains
+// after grace. Like Close it seals the store last, so drained samples land
+// in history.
+func (s *Service) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	// An expired read deadline unblocks handlers parked between requests
+	// without cutting off a reply in flight: a handler mid-request
+	// finishes computing, writes its reply (write deadlines are separate),
+	// and exits on its next read.
+	now := time.Now()
+	for _, c := range conns {
+		c.SetReadDeadline(now)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.store.Close()
+	return err
+}
+
 // track registers a live connection; it reports false when the service is
-// already closing and the connection should be dropped immediately.
+// already closing or at its MaxConns cap and the connection should be
+// dropped immediately.
 func (s *Service) track(conn net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return false
 	}
-	s.conns[conn] = struct{}{}
+	if s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns {
+		s.rejected.Add(1)
+		return false
+	}
+	s.conns[conn] = ""
+	if len(s.conns) > s.peak {
+		s.peak = len(s.conns)
+	}
 	return true
 }
 
@@ -119,15 +228,28 @@ func (s *Service) untrack(conn net.Conn) {
 	s.mu.Unlock()
 }
 
+// identify binds a connection to the node that said Hello on it, for the
+// per-node accounting in Stats.
+func (s *Service) identify(conn net.Conn, nodeID string) {
+	s.mu.Lock()
+	if _, ok := s.conns[conn]; ok {
+		s.conns[conn] = nodeID
+	}
+	s.mu.Unlock()
+}
+
+func (s *Service) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 func (s *Service) acceptLoop() {
 	defer s.wg.Done()
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if !closed {
+			if !s.isClosed() {
 				s.Logf("cluster: accept: %v", err)
 			}
 			return
@@ -163,9 +285,19 @@ func (s *Service) handle(conn net.Conn) error {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
-		env, err := ReadMsg(r)
+		if s.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+		}
+		env, err := ReadMsgLimit(r, s.opts.MaxFrame)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && !s.isClosed() {
+				s.timedOut.Add(1)
+			}
 			return err
+		}
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		}
 		switch env.Kind {
 		case KindHello:
@@ -174,6 +306,7 @@ func (s *Service) handle(conn net.Conn) error {
 				return err
 			}
 			s.monitorFor(h.NodeID)
+			s.identify(conn, h.NodeID)
 			if err := WriteMsg(w, KindHello, h); err != nil {
 				return err
 			}
@@ -221,6 +354,14 @@ func (s *Service) handle(conn net.Conn) error {
 				break
 			}
 			if err := WriteMsg(w, KindSeries, body); err != nil {
+				if errors.Is(err, ErrFrameTooLarge) {
+					// Nothing was written yet; tell the agent to narrow
+					// the window instead of killing the connection.
+					if werr := WriteMsg(w, KindError, ErrorBody{Message: "series reply too large; narrow the query window or coarsen the resolution"}); werr != nil {
+						return werr
+					}
+					break
+				}
 				return err
 			}
 		case KindModel:
@@ -293,12 +434,29 @@ func (s *Service) answerQuery(q QueryRequest) (SeriesBody, error) {
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	nodes := len(s.mons)
+	conns := len(s.conns)
+	peak := s.peak
+	var nodeConns map[string]int
+	for _, id := range s.conns {
+		if id == "" {
+			continue
+		}
+		if nodeConns == nil {
+			nodeConns = map[string]int{}
+		}
+		nodeConns[id]++
+	}
 	s.mu.Unlock()
 	return Stats{
 		Nodes:     nodes,
 		Samples:   s.samples.Load(),
 		Estimates: s.estimates.Load(),
 		Measured:  s.measured.Load(),
+		Conns:     conns,
+		PeakConns: peak,
+		Rejected:  s.rejected.Load(),
+		TimedOut:  s.timedOut.Load(),
+		NodeConns: nodeConns,
 		Store:     s.store.Stats(),
 	}
 }

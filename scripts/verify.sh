@@ -3,10 +3,12 @@
 #
 # Tier-1 (the ROADMAP gate) is `go build ./... && go test ./...`; on top of
 # that this script vets the tree and race-checks the concurrent subsystems
-# (the tsdb ingest/query paths, the cluster service, and the parallel
-# training engine in neural/tree/experiments) so locking regressions surface
-# immediately. It finishes with one pass over the PR 3 training benchmarks
-# and records their output in BENCH_pr3.json.
+# (the tsdb ingest/query paths, the cluster service + fault-injection
+# harness, and the parallel training engine in neural/tree/experiments) so
+# locking regressions surface immediately. It then fuzzes the wire-protocol
+# decoders briefly, and finishes with one pass over the PR 3 training
+# benchmarks (BENCH_pr3.json) and the PR 4 cluster benchmarks
+# (BENCH_pr4.json).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,10 +18,13 @@ echo "== go vet"
 go vet ./...
 echo "== go test"
 go test ./...
-echo "== go test -race (tsdb, cluster)"
-go test -race ./internal/tsdb ./internal/cluster
+echo "== go test -race (tsdb, cluster incl. faultnet)"
+go test -race ./internal/tsdb ./internal/cluster/...
 echo "== go test -race (parallel training: neural, tree, experiments)"
 go test -race ./internal/neural ./internal/tree ./internal/experiments
+echo "== fuzz wire protocol (10s per target)"
+go test -run '^$' -fuzz '^FuzzReadEnvelope$' -fuzztime=10s ./internal/cluster
+go test -run '^$' -fuzz '^FuzzEnvelopeRoundTrip$' -fuzztime=10s ./internal/cluster
 echo "== training benchmarks (1 iteration each)"
 bench_out="$(go test -run '^$' -bench 'BenchmarkLSTMFit|BenchmarkFineTuneLatency' -benchtime=1x -benchmem ./internal/neural)"
 echo "$bench_out"
@@ -42,4 +47,24 @@ BEGIN { print "{"; print "  \"benchmarks\": [" ; first = 1 }
 END { print "\n  ]"; print "}" }
 ' > BENCH_pr3.json
 echo "wrote BENCH_pr3.json"
+echo "== cluster benchmarks"
+cluster_out="$(go test -run '^$' -bench 'BenchmarkAgentSendLoopback|BenchmarkServiceHandle' -benchtime=1s -benchmem ./internal/cluster)"
+echo "$cluster_out"
+printf '%s\n' "$cluster_out" | awk '
+BEGIN { print "{"; print "  \"benchmarks\": [" ; first = 1 }
+/^Benchmark/ {
+    name = $1
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns == "" ? "null" : ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs
+}
+END { print "\n  ]"; print "}" }
+' > BENCH_pr4.json
+echo "wrote BENCH_pr4.json"
 echo "verify: OK"
