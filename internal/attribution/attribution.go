@@ -147,6 +147,7 @@ func (l *Ledger) Entries() []Entry {
 		out = append(out, ent)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//lint:ignore floateq exact tie-break: only bit-identical energies fall through to the JobID key
 		if out[i].EnergyJ != out[j].EnergyJ {
 			return out[i].EnergyJ > out[j].EnergyJ
 		}
@@ -155,11 +156,17 @@ func (l *Ledger) Entries() []Entry {
 	return out
 }
 
-// TotalJ returns the summed energy across jobs.
+// TotalJ returns the summed energy across jobs. Jobs are visited in
+// sorted ID order so the float sum is bit-reproducible run to run.
 func (l *Ledger) TotalJ() float64 {
+	ids := make([]string, 0, len(l.energyJ))
+	for id := range l.energyJ {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	var s float64
-	for _, e := range l.energyJ {
-		s += e
+	for _, id := range ids {
+		s += l.energyJ[id]
 	}
 	return s
 }

@@ -38,20 +38,20 @@ func DialTimeout(addr, nodeID string, timeout time.Duration) (*Agent, error) {
 		defer conn.SetDeadline(time.Time{})
 	}
 	if err := WriteMsg(a.w, KindHello, Hello{NodeID: nodeID}); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, err
 	}
 	if err := a.w.Flush(); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, err
 	}
 	env, err := ReadMsg(a.r)
 	if err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, fmt.Errorf("cluster: hello reply: %w", err)
 	}
 	if env.Kind != KindHello {
-		conn.Close()
+		_ = conn.Close()
 		return nil, fmt.Errorf("cluster: unexpected hello reply kind %q", env.Kind)
 	}
 	return a, nil

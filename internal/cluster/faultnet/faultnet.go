@@ -110,7 +110,7 @@ func (p *Proxy) Close() error {
 	p.mu.Lock()
 	p.closed = true
 	for c := range p.conns {
-		c.Close()
+		_ = c.Close()
 	}
 	p.mu.Unlock()
 	var err error
@@ -131,7 +131,7 @@ func (p *Proxy) acceptLoop() {
 		p.mu.Lock()
 		if p.closed {
 			p.mu.Unlock()
-			client.Close()
+			_ = client.Close()
 			return
 		}
 		idx := p.accepted
@@ -143,7 +143,7 @@ func (p *Proxy) acceptLoop() {
 		}
 		upstream, err := net.Dial("tcp", p.target)
 		if err != nil {
-			client.Close()
+			_ = client.Close()
 			continue
 		}
 		p.track(client)
@@ -178,8 +178,8 @@ func sever(a, b net.Conn, reset bool) {
 			}
 		}
 	}
-	a.Close()
-	b.Close()
+	_ = a.Close()
+	_ = b.Close()
 }
 
 // forward copies src→dst applying one direction's fault script. It owns
@@ -276,7 +276,7 @@ func (p *Proxy) forward(dst, src net.Conn, f Fault) {
 			} else {
 				// The silent direction still tears down once its source
 				// is gone (proxy Close or peer give-up).
-				src.Close()
+				_ = src.Close()
 			}
 			return
 		}

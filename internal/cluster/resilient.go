@@ -189,7 +189,7 @@ func (ra *ResilientAgent) connect() (*Agent, *core.HighRPM, error) {
 	model, err := agent.FetchModel()
 	agent.setDeadline(time.Time{})
 	if err != nil {
-		agent.Close()
+		_ = agent.Close()
 		return nil, nil, fmt.Errorf("cluster: model snapshot: %w", err)
 	}
 	return agent, model, nil
@@ -375,7 +375,7 @@ func (ra *ResilientAgent) failProbe() {
 // dropConn discards the current connection after a transport failure.
 func (ra *ResilientAgent) dropConn() {
 	if ra.agent != nil {
-		ra.agent.Close()
+		_ = ra.agent.Close()
 		ra.agent = nil
 	}
 }

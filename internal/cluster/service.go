@@ -142,7 +142,7 @@ func (s *Service) Close() error {
 	}
 	s.closed = true
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close()
 	}
 	s.mu.Unlock()
 	var err error
@@ -150,7 +150,9 @@ func (s *Service) Close() error {
 		err = s.ln.Close()
 	}
 	s.wg.Wait()
-	s.store.Close()
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -167,6 +169,7 @@ func (s *Service) Shutdown(grace time.Duration) error {
 	}
 	s.closed = true
 	conns := make([]net.Conn, 0, len(s.conns))
+	//lint:ignore maporder teardown order over the connection set is immaterial
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
@@ -193,12 +196,14 @@ func (s *Service) Shutdown(grace time.Duration) error {
 	case <-time.After(grace):
 		s.mu.Lock()
 		for c := range s.conns {
-			c.Close()
+			_ = c.Close()
 		}
 		s.mu.Unlock()
 		<-done
 	}
-	s.store.Close()
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }
 

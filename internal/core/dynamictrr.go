@@ -154,9 +154,9 @@ func (d *DynamicTRR) Run(set *dataset.Set, measuredIdx []int, vals []float64) ([
 	// the estimates — are identical to rebuilding every window from scratch.
 	prevEpoch := 1
 	win := make([][]float64, miss)
-	winIdx := make([]int, miss)     // sample index of each row
-	winEpoch := make([]int, miss)   // prevEpoch when the row's prev was computed
-	winFixed := make([]bool, miss)  // prev came from a measurement: never stale
+	winIdx := make([]int, miss)    // sample index of each row
+	winEpoch := make([]int, miss)  // prevEpoch when the row's prev was computed
+	winFixed := make([]bool, miss) // prev came from a measurement: never stale
 	for j := range win {
 		win[j] = make([]float64, pmu.NumEvents+1)
 	}

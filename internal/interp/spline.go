@@ -45,6 +45,7 @@ func NewCubicSpline(xs, ys []float64) (*CubicSpline, error) {
 		sy[i] = ys[j]
 	}
 	for i := 1; i < n; i++ {
+		//lint:ignore floateq exact duplicate-knot detection: any nonzero gap is a valid spline interval
 		if sx[i] == sx[i-1] {
 			return nil, fmt.Errorf("interp: duplicate knot x=%g", sx[i])
 		}

@@ -167,6 +167,7 @@ func (la *Lasso) Fit(x *mat.Dense, y []float64) error {
 			// rho = x_jᵀ(resid + w_j x_j)
 			rho := mat.Dot(cols[j], resid) + w[j]*colSq[j]
 			nw := softThreshold(rho, lam) / colSq[j]
+			//lint:ignore floateq exact no-op check: the update is skipped only when the coordinate is bit-identical
 			if nw != w[j] {
 				mat.AXPY(w[j]-nw, cols[j], resid)
 				if d := math.Abs(nw - w[j]); d > maxDelta {

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// leakcheck enforces the cluster test-suite convention introduced with
+// the fault-tolerance work: every Test* under internal/cluster/... that
+// spawns goroutines — directly, through package helpers, or by starting
+// a service/agent — must arm the checkNoLeaks goroutine-leak guard so a
+// handler or reconnect loop that outlives its test fails the suite.
+type leakcheck struct{}
+
+func (leakcheck) Name() string { return "leakcheck" }
+func (leakcheck) Doc() string {
+	return "cluster tests that spawn goroutines or start services must call checkNoLeaks"
+}
+
+// spawnAPINames are cluster entry points known to start background
+// goroutines even when the call resolves outside the analyzed unit
+// (e.g. an external test package dialing a service).
+var spawnAPINames = map[string]bool{
+	"Listen": true, "Serve": true, "Dial": true,
+	"DialResilientService": true, "Start": true,
+}
+
+func (leakcheck) Run(pass *Pass) {
+	if !strings.HasPrefix(pass.Pkg.BasePath(), modulePath+"/internal/cluster") {
+		return
+	}
+	info := pass.Pkg.Info
+
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	declFile := make(map[*types.Func]*File)
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Ast.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+				declFile[obj] = f
+			}
+		}
+	}
+
+	callee := func(call *ast.CallExpr) *types.Func {
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			fn, _ := info.Uses[fun].(*types.Func)
+			return fn
+		case *ast.SelectorExpr:
+			fn, _ := info.Uses[fun.Sel].(*types.Func)
+			return fn
+		}
+		return nil
+	}
+
+	spawns := make(map[*types.Func]bool)
+	guards := make(map[*types.Func]bool)
+	calls := make(map[*types.Func][]*types.Func)
+	for obj, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				spawns[obj] = true
+			case *ast.CallExpr:
+				fn := callee(s)
+				if fn == nil {
+					return true
+				}
+				if fn.Name() == "checkNoLeaks" {
+					guards[obj] = true
+				}
+				if fn.Pkg() != nil && strings.HasPrefix(fn.Pkg().Path(), modulePath+"/internal/cluster") && spawnAPINames[fn.Name()] {
+					spawns[obj] = true
+				}
+				if _, local := decls[fn]; local {
+					calls[obj] = append(calls[obj], fn)
+				}
+			}
+			return true
+		})
+	}
+
+	// Propagate both properties through package-local helpers to a
+	// fixpoint: a test spawning via startService(t) is still a spawner,
+	// and a setup helper that arms checkNoLeaks still guards its caller.
+	for changed := true; changed; {
+		changed = false
+		for obj, cs := range calls {
+			for _, c := range cs {
+				if spawns[c] && !spawns[obj] {
+					spawns[obj] = true
+					changed = true
+				}
+				if guards[c] && !guards[obj] {
+					guards[obj] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	for obj, fd := range decls {
+		f := declFile[obj]
+		if !f.Test || !strings.HasPrefix(obj.Name(), "Test") {
+			continue
+		}
+		if fd.Type.Params == nil || len(fd.Type.Params.List) != 1 {
+			continue
+		}
+		if spawns[obj] && !guards[obj] {
+			pass.Reportf(fd.Pos(), "%s spawns goroutines or starts a service but never arms checkNoLeaks", obj.Name())
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package lint is a project-aware static-analysis engine for the HighRPM
+// tree. It enforces the invariants no compiler checks — bit-exact
+// determinism of the training engine, goroutine-leak hygiene in the
+// cluster tests, float-equality discipline, and the package layering that
+// keeps internal/{mat,stats,interp} leaf dependencies — so regressions
+// surface on every verify run instead of in review.
+//
+// The engine is stdlib-only: packages are discovered with
+// `go list -deps -test -export -json`, parsed with go/parser, and
+// type-checked with go/types against the compiler's export data.
+// Analyzers implement the Analyzer interface and report position-accurate
+// diagnostics through a Pass. Individual findings are suppressed in
+// source with
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// placed on, or on the line directly above, the offending line, or for a
+// whole file with //lint:file-ignore. A reason is mandatory; directives
+// that suppress nothing are tracked so `highrpm-vet -fix-ignore` can list
+// stale ones.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a resolved source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the canonical file:line:col: rule: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one pluggable rule. Run inspects a single type-checked
+// package unit and reports findings through the Pass.
+type Analyzer interface {
+	// Name is the rule identifier used in diagnostics, -rules selection
+	// and lint:ignore directives.
+	Name() string
+	// Doc is a one-line description for the CLI rule catalogue.
+	Doc() string
+	// Run analyzes one package unit.
+	Run(*Pass)
+}
+
+// Pass hands one analyzer one type-checked package unit.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+
+	rule   string
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos under the running analyzer's rule.
+// Suppression via lint:ignore directives is applied by the engine.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// File is one parsed source file inside a package unit.
+type File struct {
+	Ast *ast.File
+	// Name is the path as registered in the FileSet.
+	Name string
+	// Test reports whether this is a _test.go file.
+	Test bool
+}
+
+// Package is one type-checked unit: either a package's GoFiles plus its
+// in-package test files, or the external (xtest) test package.
+type Package struct {
+	// ImportPath is the canonical import path; external test units carry
+	// the real package's path with a "_test" suffix.
+	ImportPath string
+	Dir        string
+	Files      []*File
+	Types      *types.Package
+	Info       *types.Info
+	// XTest reports an external test unit (package foo_test).
+	XTest bool
+}
+
+// BasePath returns the import path with any xtest "_test" suffix removed,
+// i.e. the path rules should match against.
+func (p *Package) BasePath() string {
+	if p.XTest {
+		return strings.TrimSuffix(p.ImportPath, "_test")
+	}
+	return p.ImportPath
+}
+
+// Ignore is one lint:ignore / lint:file-ignore directive found in source.
+type Ignore struct {
+	Pos   token.Position
+	Rules []string
+	// Reason is the mandatory justification text.
+	Reason string
+	// File marks a file-scoped directive (lint:file-ignore).
+	File bool
+	// Used is set when the directive suppressed at least one diagnostic
+	// of an enabled rule.
+	Used bool
+	// Evaluated is set when at least one of the directive's rules was
+	// enabled for the run; unused-but-unevaluated directives are not
+	// stale, the rule just wasn't selected.
+	Evaluated bool
+}
+
+func (ig *Ignore) matches(rule string, pos token.Position) bool {
+	ruleOK := false
+	for _, r := range ig.Rules {
+		if r == rule {
+			ruleOK = true
+			break
+		}
+	}
+	if !ruleOK || ig.Pos.Filename != pos.Filename {
+		return false
+	}
+	if ig.File {
+		return true
+	}
+	return ig.Pos.Line == pos.Line || ig.Pos.Line == pos.Line-1
+}
+
+// Result is the outcome of one engine run.
+type Result struct {
+	Diagnostics []Diagnostic
+	// Ignores lists every directive seen, with usage accounting.
+	Ignores []*Ignore
+	// TypeErrors collects go/types errors; the tree is expected to
+	// compile (verify.sh builds before vetting), so these indicate an
+	// engine or environment problem rather than a lint finding.
+	TypeErrors []string
+}
+
+// directiveMarker is the comment prefix shared by both directive forms.
+const directiveMarker = "//lint:"
+
+// parseIgnores extracts lint directives from a file. Malformed directives
+// (no rule, or no reason) are reported as diagnostics under the "lint"
+// pseudo-rule so they cannot silently suppress nothing.
+func parseIgnores(fset *token.FileSet, f *ast.File, report func(Diagnostic)) []*Ignore {
+	var out []*Ignore
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directiveMarker) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directiveMarker)
+			isFile := false
+			switch {
+			case strings.HasPrefix(rest, "file-ignore"):
+				isFile = true
+				rest = strings.TrimPrefix(rest, "file-ignore")
+			case strings.HasPrefix(rest, "ignore"):
+				rest = strings.TrimPrefix(rest, "ignore")
+			default:
+				report(Diagnostic{
+					Pos:     fset.Position(c.Pos()),
+					Rule:    "lint",
+					Message: fmt.Sprintf("unknown lint directive %q", text),
+				})
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				report(Diagnostic{
+					Pos:     fset.Position(c.Pos()),
+					Rule:    "lint",
+					Message: "malformed lint:ignore directive: want //lint:ignore <rule> <reason>",
+				})
+				continue
+			}
+			out = append(out, &Ignore{
+				Pos:    fset.Position(c.Pos()),
+				Rules:  strings.Split(fields[0], ","),
+				Reason: strings.Join(fields[1:], " "),
+				File:   isFile,
+			})
+		}
+	}
+	return out
+}
+
+// Run loads the packages matched by patterns (relative to dir) and runs
+// every analyzer over every loaded unit. Diagnostics are returned sorted
+// by position; suppressed findings are dropped and accounted on their
+// directive.
+func Run(dir string, patterns []string, analyzers []Analyzer) (*Result, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset, pkgs, typeErrs, err := load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{TypeErrors: typeErrs}
+
+	enabled := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name()] = true
+	}
+
+	var ignores []*Ignore
+	collect := func(d Diagnostic) { res.Diagnostics = append(res.Diagnostics, d) }
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ignores = append(ignores, parseIgnores(fset, f.Ast, collect)...)
+		}
+	}
+	for _, ig := range ignores {
+		for _, r := range ig.Rules {
+			if enabled[r] {
+				ig.Evaluated = true
+			}
+		}
+	}
+	res.Ignores = ignores
+
+	suppressed := func(d Diagnostic) bool {
+		for _, ig := range ignores {
+			if ig.matches(d.Rule, d.Pos) {
+				ig.Used = true
+				return true
+			}
+		}
+		return false
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset: fset,
+				Pkg:  pkg,
+				rule: a.Name(),
+				report: func(d Diagnostic) {
+					if !suppressed(d) {
+						res.Diagnostics = append(res.Diagnostics, d)
+					}
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return res, nil
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureResult loads the fixture module once for every test in this
+// file; package discovery shells out to `go list`, so the run is shared.
+var (
+	fixtureOnce sync.Once
+	fixtureRes  *Result
+	fixtureErr  error
+)
+
+func fixture(t *testing.T) *Result {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureRes, fixtureErr = Run("testdata/fixture", []string{"./..."}, Default())
+	})
+	if fixtureErr != nil {
+		t.Fatalf("Run: %v", fixtureErr)
+	}
+	if len(fixtureRes.TypeErrors) > 0 {
+		t.Fatalf("fixture must type-check cleanly, got: %v", fixtureRes.TypeErrors)
+	}
+	return fixtureRes
+}
+
+// key renders a diagnostic as "rule file:line" with the path relative to
+// the fixture root.
+func key(d Diagnostic) string {
+	name := d.Pos.Filename
+	if i := strings.Index(name, "fixture/"); i >= 0 {
+		name = name[i+len("fixture/"):]
+	}
+	return fmt.Sprintf("%s %s:%d", d.Rule, name, d.Pos.Line)
+}
+
+func TestFixtureFiresEveryAnalyzer(t *testing.T) {
+	res := fixture(t)
+	want := []string{
+		"errdrop internal/cluster/drop.go:8",
+		"leakcheck internal/cluster/svc_test.go:13",
+		"determinism internal/core/core.go:14",
+		"determinism internal/core/core.go:17",
+		"determinism internal/core/core.go:20",
+		"floateq internal/core/core.go:32",
+		"maporder internal/core/core.go:37",
+		"maporder internal/core/core.go:46",
+		"layering internal/mat/mat.go:5",
+		"layering internal/util/util.go:4",
+	}
+	got := make([]string, 0, len(res.Diagnostics))
+	for _, d := range res.Diagnostics {
+		got = append(got, key(d))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCleanIdiomsNotFlagged(t *testing.T) {
+	res := fixture(t)
+	for _, d := range res.Diagnostics {
+		switch {
+		case d.Rule == "maporder" && d.Pos.Line > 50:
+			t.Errorf("collect-then-sort idiom flagged: %s", d)
+		case d.Rule == "errdrop" && d.Pos.Line > 10:
+			t.Errorf("explicit _ = or defer flagged: %s", d)
+		case d.Rule == "leakcheck" && !strings.Contains(d.Message, "TestLeaky"):
+			t.Errorf("guarded or pure test flagged: %s", d)
+		}
+	}
+}
+
+func TestSuppressionAndStaleAccounting(t *testing.T) {
+	res := fixture(t)
+	// The suppressed rand.Intn must not surface as a diagnostic.
+	for _, d := range res.Diagnostics {
+		if d.Rule == "determinism" && d.Pos.Line == 25 {
+			t.Errorf("suppressed finding surfaced: %s", d)
+		}
+	}
+	if len(res.Ignores) != 2 {
+		t.Fatalf("got %d directives, want 2", len(res.Ignores))
+	}
+	var used, stale int
+	for _, ig := range res.Ignores {
+		if !ig.Evaluated {
+			t.Errorf("directive %v not evaluated although its rule ran", ig.Rules)
+		}
+		if ig.Used {
+			used++
+		} else {
+			stale++
+		}
+	}
+	if used != 1 || stale != 1 {
+		t.Errorf("got %d used / %d stale directives, want 1 / 1", used, stale)
+	}
+}
+
+func TestRuleSubset(t *testing.T) {
+	var det Analyzer
+	for _, a := range Default() {
+		if a.Name() == "determinism" {
+			det = a
+		}
+	}
+	res, err := Run("testdata/fixture", []string{"./..."}, []Analyzer{det})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Diagnostics) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(res.Diagnostics), res.Diagnostics)
+	}
+	for _, d := range res.Diagnostics {
+		if d.Rule != "determinism" {
+			t.Errorf("unexpected rule %q with subset enabled", d.Rule)
+		}
+	}
+	// The floateq directive's rule did not run, so it must not count as
+	// stale.
+	for _, ig := range res.Ignores {
+		for _, r := range ig.Rules {
+			if r == "floateq" && ig.Evaluated {
+				t.Errorf("floateq directive marked evaluated although the rule was disabled")
+			}
+		}
+	}
+}
+
+func TestDefaultHasSixRules(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range Default() {
+		if a.Doc() == "" {
+			t.Errorf("rule %s has no doc line", a.Name())
+		}
+		names[a.Name()] = true
+	}
+	for _, want := range []string{"determinism", "maporder", "floateq", "leakcheck", "errdrop", "layering"} {
+		if !names[want] {
+			t.Errorf("rule %s missing from Default()", want)
+		}
+	}
+	if len(names) != 6 {
+		t.Errorf("got %d rules, want 6", len(names))
+	}
+}

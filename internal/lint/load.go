@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Standard     bool
+	DepOnly      bool
+	// ForTest marks the synthetic per-test-binary package variants
+	// ("pkg [pkg.test]") that `go list -test` fabricates.
+	ForTest string
+}
+
+// load discovers every package matched by patterns below dir, parses its
+// sources (including test files) and type-checks each unit against the
+// compiler's export data for its dependencies. One `go list` invocation
+// supplies both the file lists for the matched packages and the export
+// data for the whole dependency graph (test dependencies included), so no
+// non-stdlib machinery is needed.
+func load(dir string, patterns []string) (*token.FileSet, []*Package, []string, error) {
+	args := append([]string{"list", "-deps", "-test", "-export", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var roots []*listPackage
+	seen := make(map[string]bool)
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && !seen[p.ImportPath] {
+			seen[p.ImportPath] = true
+			cp := p
+			roots = append(roots, &cp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+
+	var typeErrs []string
+	var pkgs []*Package
+	for _, lp := range roots {
+		units := []struct {
+			path  string
+			names []string
+			tests []string
+			xtest bool
+		}{
+			{lp.ImportPath, lp.GoFiles, lp.TestGoFiles, false},
+			{lp.ImportPath + "_test", lp.XTestGoFiles, nil, true},
+		}
+		for _, u := range units {
+			if len(u.names)+len(u.tests) == 0 {
+				continue
+			}
+			pkg := &Package{ImportPath: u.path, Dir: lp.Dir, XTest: u.xtest}
+			var files []*ast.File
+			parse := func(names []string, test bool) error {
+				for _, name := range names {
+					path := filepath.Join(lp.Dir, name)
+					af, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+					if err != nil {
+						return fmt.Errorf("parsing %s: %v", path, err)
+					}
+					files = append(files, af)
+					pkg.Files = append(pkg.Files, &File{Ast: af, Name: path, Test: test || strings.HasSuffix(name, "_test.go")})
+				}
+				return nil
+			}
+			if err := parse(u.names, u.xtest); err != nil {
+				return nil, nil, nil, err
+			}
+			if err := parse(u.tests, true); err != nil {
+				return nil, nil, nil, err
+			}
+			conf := types.Config{
+				Importer: imp,
+				Error: func(err error) {
+					typeErrs = append(typeErrs, err.Error())
+				},
+			}
+			info := &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			}
+			tpkg, _ := conf.Check(u.path, fset, files, info)
+			pkg.Types = tpkg
+			pkg.Info = info
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return fset, pkgs, typeErrs, nil
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// maporder flags `for range` over a map whose body is order-sensitive:
+// appending to a slice, accumulating floats, or writing ordered output.
+// Go randomizes map iteration order, so any of these makes the result
+// differ run to run — the bug class that breaks bit-exact gradient
+// reduction and golden-output tests. The canonical collect-then-sort
+// idiom (append keys, sort immediately after the loop) is recognized and
+// exempt.
+type maporder struct{}
+
+func (maporder) Name() string { return "maporder" }
+func (maporder) Doc() string {
+	return "flag map iteration whose body appends, accumulates floats, or writes ordered output"
+}
+
+func (m maporder) Run(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := info.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				checkMapRange(pass, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	info := pass.Pkg.Info
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj
+		}
+		return info.Defs[id]
+	}
+	declaredInBody := func(e ast.Expr) bool {
+		obj := objOf(e)
+		return obj != nil && obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End()
+	}
+	// Writes indexed by the loop's own key/value variables touch a
+	// distinct element per iteration, so their order cannot matter.
+	loopVars := make(map[types.Object]bool)
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if v != nil {
+			if obj := objOf(v); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	perKeyIndexed := func(e ast.Expr) bool {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		found := false
+		ast.Inspect(ix.Index, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && loopVars[info.Uses[id]] {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	var reasons []string
+	seen := make(map[string]bool)
+	add := func(r string) {
+		if !seen[r] {
+			seen[r] = true
+			reasons = append(reasons, r)
+		}
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return true
+			}
+			lhs := s.Lhs[0]
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				return true
+			}
+			if declaredInBody(lhs) || perKeyIndexed(lhs) {
+				return true
+			}
+			target := types.ExprString(lhs)
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if t := info.TypeOf(lhs); t != nil && isFloat(t) {
+					add(fmt.Sprintf("accumulates into float %s (order-dependent rounding)", target))
+				}
+			case token.ASSIGN:
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isAppendCall(pass, call) && !sortedAfter(pass, rest, target) {
+					add(fmt.Sprintf("appends to %s", target))
+				}
+			}
+		case *ast.CallExpr:
+			if pkg, name, ok := qualifiedCall(pass, s); ok {
+				if pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+					add("writes formatted output")
+				}
+				return true
+			}
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Write", "WriteString", "WriteByte", "WriteRune":
+					add(fmt.Sprintf("writes ordered output via %s", sel.Sel.Name))
+				}
+			}
+		}
+		return true
+	})
+	if len(reasons) > 0 {
+		pass.Reportf(rs.For, "map iteration order is nondeterministic but the body %s; iterate a sorted key slice instead", strings.Join(reasons, "; "))
+	}
+}
+
+func isAppendCall(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+// sortedAfter recognizes the collect-then-sort idiom: a statement later
+// in the same block sorts the slice the loop appended to
+// (sort.Strings(keys), sort.Slice(keys, ...), slices.Sort(keys),
+// sort.Sort(byKey(keys)), ...). Intervening statements (an unlock, a
+// length check) are allowed; what matters is that the slice is sorted
+// before the block ends.
+func sortedAfter(pass *Pass, rest []ast.Stmt, target string) bool {
+	for _, next := range rest {
+		es, ok := next.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		pkg, _, ok := qualifiedCall(pass, call)
+		if !ok || (pkg != "sort" && pkg != "slices") {
+			continue
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok && types.ExprString(e) == target {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,3 @@
+module highrpm
+
+go 1.22

@@ -1,0 +1,6 @@
+// Package highrpm is the fixture facade: internal packages importing it
+// violate the layering rule.
+package highrpm
+
+// Version identifies the fixture module.
+func Version() string { return "fixture" }

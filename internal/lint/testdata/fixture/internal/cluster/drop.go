@@ -1,0 +1,24 @@
+// Package cluster carries the errdrop and leakcheck fixtures.
+package cluster
+
+import "os"
+
+// drop discards the Close error: errdrop violation.
+func drop(f *os.File) {
+	f.Close()
+}
+
+// dropOK acknowledges the error explicitly and must not be flagged.
+func dropOK(f *os.File) {
+	_ = f.Close()
+}
+
+// dropDeferred defers cleanup, which is exempt by design.
+func dropDeferred(f *os.File) {
+	defer f.Close()
+}
+
+// spin starts a goroutine that parks until released.
+func spin(done chan struct{}) {
+	go func() { <-done }()
+}

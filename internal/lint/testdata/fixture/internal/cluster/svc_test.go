@@ -1,0 +1,34 @@
+package cluster
+
+import (
+	"os"
+	"testing"
+)
+
+// checkNoLeaks stands in for the real goroutine-leak guard.
+func checkNoLeaks(t testing.TB) { t.Helper() }
+
+// TestLeaky spawns via a helper without arming the guard: leakcheck
+// violation.
+func TestLeaky(t *testing.T) {
+	done := make(chan struct{})
+	spin(done)
+	close(done)
+}
+
+// TestGuarded arms the guard and must not be flagged.
+func TestGuarded(t *testing.T) {
+	checkNoLeaks(t)
+	done := make(chan struct{})
+	spin(done)
+	close(done)
+}
+
+// TestPure spawns nothing and needs no guard.
+func TestPure(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "pure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropOK(f)
+}

@@ -1,0 +1,63 @@
+// Package core carries one deliberate violation per determinism-class
+// rule, plus a suppressed finding and a stale directive, so the analyzer
+// tests can assert exact diagnostics.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Jitter draws from the global math/rand source: determinism violation.
+func Jitter() float64 { return rand.Float64() }
+
+// Stamp reads the wall clock: determinism violation.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Env reads the environment: determinism violation.
+func Env() string { return os.Getenv("HIGHRPM_SEED") }
+
+// Suppressed is a violation silenced by a justified directive.
+func Suppressed() int {
+	//lint:ignore determinism fixture demonstrates suppression
+	return rand.Intn(3)
+}
+
+//lint:ignore floateq fixture stale directive that suppresses nothing
+var pi = 3.14
+
+// Equal compares floats exactly: floateq violation.
+func Equal(a, b float64) bool { return a == b }
+
+// Keys collects map keys without sorting: maporder violation.
+func Keys(m map[string]float64) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sum accumulates floats in map order: maporder violation.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// SortedKeys uses the collect-then-sort idiom and must not be flagged.
+func SortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// use keeps the stale-directive variable referenced.
+func use() float64 { return pi }

@@ -1,0 +1,8 @@
+// Package mat is a leaf package that deliberately grows a non-leaf
+// dependency to trip the layering rule.
+package mat
+
+import "highrpm/internal/util"
+
+// Tag returns a label derived from the forbidden dependency.
+func Tag() string { return "mat-" + util.V() }

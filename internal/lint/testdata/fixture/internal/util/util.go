@@ -1,0 +1,7 @@
+// Package util deliberately imports the facade to trip the layering rule.
+package util
+
+import "highrpm"
+
+// V reports the facade version through the forbidden import.
+func V() string { return highrpm.Version() }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"highrpm/internal/mat"
 )
@@ -243,11 +244,7 @@ func expandGrid(grid map[string][]float64) []GridPoint {
 		keys = append(keys, k)
 	}
 	// Deterministic order: insertion order is unavailable for maps, so sort.
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Strings(keys)
 	points := []GridPoint{{}}
 	for _, key := range keys {
 		vals := grid[key]

@@ -49,10 +49,10 @@ type lstmStep struct {
 // buffers, grown once to the window length and reused for every window.
 type lstmScratch struct {
 	in, hid int
-	z, dz   []float64      // 4H pre-activations / their gradients
-	dx      []float64      // input gradient
-	dbuf    [2]cellState   // ping-pong backward state gradients
-	hs, cs  [][]float64    // states; hs[0]/cs[0] stay all-zero
+	z, dz   []float64    // 4H pre-activations / their gradients
+	dx      []float64    // input gradient
+	dbuf    [2]cellState // ping-pong backward state gradients
+	hs, cs  [][]float64  // states; hs[0]/cs[0] stay all-zero
 	steps   []lstmStep
 }
 

@@ -235,6 +235,7 @@ func (n *Node) Frequency() float64 { return n.freq }
 // configured operating points.
 func (n *Node) SetFrequency(ghz float64) error {
 	for _, f := range n.cfg.FreqLevels {
+		//lint:ignore floateq DVFS operating points are exact configured constants, not computed values
 		if f == ghz {
 			n.freq = ghz
 			return nil
@@ -248,6 +249,7 @@ func (n *Node) SetFrequency(ghz float64) error {
 func (n *Node) StepFrequency(dir int) float64 {
 	cur := 0
 	for i, f := range n.cfg.FreqLevels {
+		//lint:ignore floateq the current level is always assigned from the exact table entry
 		if f == n.freq {
 			cur = i
 			break

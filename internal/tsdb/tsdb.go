@@ -278,6 +278,7 @@ func (st *Store) Close() error {
 	}
 	st.mu.RLock()
 	shards := make([]*shard, 0, len(st.shards))
+	//lint:ignore maporder shards are independent; seal order does not matter
 	for _, sh := range st.shards {
 		shards = append(shards, sh)
 	}

@@ -122,7 +122,7 @@ func NewInstance(b Benchmark, seed int64) *Instance {
 
 func hashName(s string) uint64 {
 	h := fnv.New64a()
-	h.Write([]byte(s))
+	_, _ = h.Write([]byte(s))
 	return h.Sum64()
 }
 

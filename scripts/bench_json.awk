@@ -1,0 +1,18 @@
+# bench_json.awk — convert `go test -bench` output on stdin into the
+# BENCH_*.json schema used by verify.sh:
+#   {"benchmarks": [{"name", "ns_per_op", "bytes_per_op", "allocs_per_op"}]}
+# Missing metrics (e.g. -benchmem omitted) are emitted as null.
+BEGIN { print "{"; print "  \"benchmarks\": ["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns == "" ? "null" : ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs
+}
+END { print "\n  ]"; print "}" }

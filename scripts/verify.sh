@@ -2,26 +2,39 @@
 # Repo verification: run before every PR.
 #
 # Tier-1 (the ROADMAP gate) is `go build ./... && go test ./...`; on top of
-# that this script vets the tree and race-checks the concurrent subsystems
-# (the tsdb ingest/query paths, the cluster service + fault-injection
-# harness, and the parallel training engine in neural/tree/experiments) so
-# locking regressions surface immediately. It then fuzzes the wire-protocol
-# decoders briefly, and finishes with one pass over the PR 3 training
-# benchmarks (BENCH_pr3.json) and the PR 4 cluster benchmarks
-# (BENCH_pr4.json).
+# that this script gates formatting (gofmt), vets the tree with both
+# `go vet` and the project-specific highrpm-vet analyzers (determinism,
+# maporder, floateq, leakcheck, errdrop, layering — see internal/lint),
+# and race-checks the concurrent subsystems (the tsdb ingest/query paths,
+# the cluster service + fault-injection harness, the parallel training
+# engine in neural/tree/experiments, and the attribution ledger) so
+# locking regressions surface immediately. It then fuzzes the
+# wire-protocol decoders briefly, and finishes with one pass over the
+# PR 3 training benchmarks (BENCH_pr3.json) and the PR 4 cluster
+# benchmarks (BENCH_pr4.json), both emitted through
+# scripts/bench_json.awk.
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files are not formatted:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 echo "== go build"
 go build ./...
 echo "== go vet"
 go vet ./...
+echo "== highrpm-vet (project static analysis)"
+go run ./cmd/highrpm-vet ./...
 echo "== go test"
 go test ./...
 echo "== go test -race (tsdb, cluster incl. faultnet)"
 go test -race ./internal/tsdb ./internal/cluster/...
-echo "== go test -race (parallel training: neural, tree, experiments)"
-go test -race ./internal/neural ./internal/tree ./internal/experiments
+echo "== go test -race (parallel training: neural, tree, experiments; attribution)"
+go test -race ./internal/neural ./internal/tree ./internal/experiments/... ./internal/attribution
 echo "== fuzz wire protocol (10s per target)"
 go test -run '^$' -fuzz '^FuzzReadEnvelope$' -fuzztime=10s ./internal/cluster
 go test -run '^$' -fuzz '^FuzzEnvelopeRoundTrip$' -fuzztime=10s ./internal/cluster
@@ -30,41 +43,11 @@ bench_out="$(go test -run '^$' -bench 'BenchmarkLSTMFit|BenchmarkFineTuneLatency
 echo "$bench_out"
 tree_out="$(go test -run '^$' -bench 'BenchmarkTreeFit' -benchtime=1x -benchmem ./internal/tree)"
 echo "$tree_out"
-printf '%s\n%s\n' "$bench_out" "$tree_out" | awk '
-BEGIN { print "{"; print "  \"benchmarks\": [" ; first = 1 }
-/^Benchmark/ {
-    name = $1
-    ns = ""; bytes = ""; allocs = ""
-    for (i = 2; i <= NF; i++) {
-        if ($(i+1) == "ns/op") ns = $i
-        if ($(i+1) == "B/op") bytes = $i
-        if ($(i+1) == "allocs/op") allocs = $i
-    }
-    if (!first) printf ",\n"
-    first = 0
-    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns == "" ? "null" : ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs
-}
-END { print "\n  ]"; print "}" }
-' > BENCH_pr3.json
+printf '%s\n%s\n' "$bench_out" "$tree_out" | awk -f scripts/bench_json.awk > BENCH_pr3.json
 echo "wrote BENCH_pr3.json"
 echo "== cluster benchmarks"
 cluster_out="$(go test -run '^$' -bench 'BenchmarkAgentSendLoopback|BenchmarkServiceHandle' -benchtime=1s -benchmem ./internal/cluster)"
 echo "$cluster_out"
-printf '%s\n' "$cluster_out" | awk '
-BEGIN { print "{"; print "  \"benchmarks\": [" ; first = 1 }
-/^Benchmark/ {
-    name = $1
-    ns = ""; bytes = ""; allocs = ""
-    for (i = 2; i <= NF; i++) {
-        if ($(i+1) == "ns/op") ns = $i
-        if ($(i+1) == "B/op") bytes = $i
-        if ($(i+1) == "allocs/op") allocs = $i
-    }
-    if (!first) printf ",\n"
-    first = 0
-    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns == "" ? "null" : ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs
-}
-END { print "\n  ]"; print "}" }
-' > BENCH_pr4.json
+printf '%s\n' "$cluster_out" | awk -f scripts/bench_json.awk > BENCH_pr4.json
 echo "wrote BENCH_pr4.json"
 echo "verify: OK"
