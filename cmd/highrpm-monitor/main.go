@@ -8,7 +8,7 @@
 //
 //	highrpm-monitor [-model highrpm-model.json] [-nodes 2] [-bench HPCC/FFT]
 //	                [-duration 60] [-miss 10] [-read-timeout 5m] [-max-conns 0]
-//	                [-resilient]
+//	                [-resilient] [-http 127.0.0.1:9090] [-pprof] [-grace 2s]
 //
 // Without -model a small model is trained in-process first (~seconds).
 //
@@ -18,6 +18,13 @@
 // accept time. -resilient switches the simulated agents to the
 // fault-tolerant client, which reconnects with backoff and falls back to
 // local inference when the service is unreachable.
+//
+// -http starts the observability endpoint on the given address: /metrics
+// in Prometheus text format (per-node power gauges, service and store
+// counters, highrpm_overhead_* self-metering), /api/v1/query and
+// /api/v1/series JSON over the history store, and /healthz + /readyz
+// probes. -pprof additionally mounts net/http/pprof there. Both the
+// service and the endpoint drain gracefully for -grace at exit.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"highrpm"
 )
@@ -45,6 +53,10 @@ func main() {
 		maxFrame     = flag.Int("max-frame", highrpm.DefaultServiceOptions().MaxFrame, "largest wire frame in bytes")
 		maxConns     = flag.Int("max-conns", 0, "concurrent connection cap (0: unlimited)")
 		resilient    = flag.Bool("resilient", false, "use fault-tolerant agents (reconnect + degraded-mode fallback)")
+
+		httpAddr  = flag.String("http", "", "observability HTTP address, e.g. 127.0.0.1:9090 (empty: disabled)")
+		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof on the observability endpoint")
+		grace     = flag.Duration("grace", 2*time.Second, "graceful-shutdown drain for the service and HTTP endpoint")
 	)
 	flag.Parse()
 
@@ -69,6 +81,36 @@ func main() {
 	}
 	defer svc.Close()
 	fmt.Printf("service listening on %s\n", svc.Addr())
+
+	// Optional observability endpoint: Prometheus exposition, JSON series
+	// API, health probes, and (with -pprof) the profiling handlers.
+	var (
+		am   *highrpm.AgentMetrics
+		osrv *highrpm.MetricsServer
+	)
+	if *httpAddr != "" {
+		reg := highrpm.NewMetricsRegistry()
+		svc.RegisterMetrics(reg)
+		if *resilient {
+			am = highrpm.NewAgentMetrics(reg)
+		}
+		opts := highrpm.DefaultMetricsServerOptions()
+		opts.EnablePprof = *pprofFlag
+		osrv = highrpm.NewMetricsServer(reg, opts)
+		osrv.SetStore(svc.Store())
+		osrv.SetHealth(func() highrpm.Health {
+			h := svc.Health()
+			if h.Ready && am != nil && am.AnyDegraded() {
+				h.Degraded = true
+				h.Detail = "agent(s) serving local estimates"
+			}
+			return h
+		})
+		if err := osrv.Listen(*httpAddr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics at http://%s/metrics (series API under /api/v1/)\n", osrv.Addr())
+	}
 
 	b, err := highrpm.FindBenchmark(*bench)
 	if err != nil {
@@ -110,6 +152,9 @@ func main() {
 				if err != nil {
 					fatal(err)
 				}
+				if ra, ok := agent.(*highrpm.ResilientAgent); ok && am != nil {
+					am.Observe(ra)
+				}
 				mu.Lock()
 				sum.samples++
 				diff := est.PNode - s.PNode
@@ -143,6 +188,17 @@ func main() {
 	fmt.Printf("store: %d series, %d raw points, %d bytes (%.2f B/point, %.1fx vs 16 B uncompressed)\n",
 		ss.Series, ss.Points, ss.Bytes, ss.BytesPerPoint, ss.CompressionRatio)
 	fmt.Printf("query history with: highrpm-query -addr %s -node node-00 -channel p_cpu -res 10\n", svc.Addr())
+
+	// Drain both servers gracefully: in-flight scrapes and replies finish,
+	// whatever is still open after -grace is cut.
+	if osrv != nil {
+		if err := osrv.Shutdown(*grace); err != nil {
+			fmt.Fprintf(os.Stderr, "highrpm-monitor: metrics shutdown: %v\n", err)
+		}
+	}
+	if err := svc.Shutdown(*grace); err != nil {
+		fmt.Fprintf(os.Stderr, "highrpm-monitor: service shutdown: %v\n", err)
+	}
 }
 
 // sender is the part of Agent / ResilientAgent the monitor loop needs.

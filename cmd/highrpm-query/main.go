@@ -7,13 +7,17 @@
 // Usage:
 //
 //	highrpm-query -addr host:port [-node node-00] [-channel p_cpu]
-//	              [-from 0] [-to 60] [-res 10] [-csv out.csv] [-stats]
+//	              [-from 0] [-to 60] [-res 10] [-csv out.csv] [-json] [-stats]
 //
 // Without -node the channel is aggregated (summed) across every node the
-// service has history for. -csv - writes CSV to stdout.
+// service has history for. -csv - writes CSV to stdout. -json writes the
+// series to stdout in the wire encoding — byte-for-byte the same bytes the
+// observability endpoint's /api/v1/series returns for the same window
+// (NaN gaps encode as null).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,12 +38,17 @@ func main() {
 		to      = flag.Float64("to", math.MaxFloat64, "window end in seconds (default: everything)")
 		res     = flag.Int("res", 1, "resolution in seconds: 1 (raw), 10 or 60")
 		csvOut  = flag.String("csv", "", "write CSV to this path instead of a table (- for stdout)")
+		jsonOut = flag.Bool("json", false, "write the series as JSON to stdout (the /api/v1/series wire encoding)")
 		stats   = flag.Bool("stats", false, "also print service and store statistics")
 	)
 	flag.Parse()
 	if *addr == "" {
 		fmt.Fprintln(os.Stderr, "highrpm-query: -addr is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *jsonOut && *csvOut != "" {
+		fmt.Fprintln(os.Stderr, "highrpm-query: -json and -csv are mutually exclusive")
 		os.Exit(2)
 	}
 
@@ -60,7 +69,13 @@ func main() {
 		fatal(err)
 	}
 
-	if *csvOut != "" {
+	if *jsonOut {
+		// json.NewEncoder's compact form plus trailing newline — the exact
+		// bytes the observability endpoint serves for this window.
+		if err := json.NewEncoder(os.Stdout).Encode(body); err != nil {
+			fatal(err)
+		}
+	} else if *csvOut != "" {
 		var w io.Writer = os.Stdout
 		if *csvOut != "-" {
 			f, err := os.Create(*csvOut)

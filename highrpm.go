@@ -16,6 +16,9 @@
 //   - Dataset construction: suite generation, Table 3 train/test splits,
 //     and DynamicTRR window building.
 //   - Metrics: MAPE/RMSE/MAE/R² evaluation.
+//   - Observability: a stdlib-only metric registry and HTTP server
+//     (Prometheus /metrics, JSON series endpoints, health probes) plus
+//     self-metering of the monitor's own overhead.
 //
 // See examples/quickstart for a five-minute tour and DESIGN.md for the
 // paper-to-module map.
@@ -28,6 +31,7 @@ import (
 	"highrpm/internal/dataset"
 	"highrpm/internal/governor"
 	"highrpm/internal/gpuext"
+	"highrpm/internal/obs"
 	"highrpm/internal/platform"
 	"highrpm/internal/stats"
 	"highrpm/internal/tsdb"
@@ -302,6 +306,47 @@ func DefaultStoreOptions() StoreOptions { return tsdb.DefaultOptions() }
 
 // StoreChannels lists the stored channels in ingest order.
 func StoreChannels() []StoreChannel { return tsdb.Channels() }
+
+// Observability types: the embeddable metric registry and HTTP exposition
+// server (see examples/observability). A Service exports itself with
+// Service.RegisterMetrics; ResilientAgent activity is published through
+// AgentMetrics.Observe from the goroutine that owns the agent.
+type (
+	// MetricsRegistry holds counters, gauges and histograms and renders
+	// them deterministically in the Prometheus text format.
+	MetricsRegistry = obs.Registry
+	// MetricsServer serves /metrics, /api/v1/query, /api/v1/series,
+	// /healthz and /readyz (plus optional pprof) over net/http.
+	MetricsServer = obs.Server
+	// MetricsServerOptions configures the MetricsServer (pprof gate,
+	// header read timeout).
+	MetricsServerOptions = obs.ServerOptions
+	// Health is a component's readiness answer, including the
+	// ready-but-degraded posture.
+	Health = obs.Health
+	// SelfMeter prices the monitor's own overhead (per-tick wall time,
+	// cumulative allocations) as highrpm_overhead_* series.
+	SelfMeter = obs.SelfMeter
+	// AgentMetrics exports ResilientAgent mode and counters as gauges.
+	AgentMetrics = cluster.AgentMetrics
+	// LatestEstimate is the newest restored power the service holds for
+	// one node — what backs the highrpm_node_power_watts gauges.
+	LatestEstimate = cluster.LatestEstimate
+)
+
+// NewMetricsRegistry returns an empty metric registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewMetricsServer wraps a registry in the observability HTTP server.
+func NewMetricsServer(reg *MetricsRegistry, opts MetricsServerOptions) *MetricsServer {
+	return obs.NewServer(reg, opts)
+}
+
+// DefaultMetricsServerOptions returns the deployment defaults.
+func DefaultMetricsServerOptions() MetricsServerOptions { return obs.DefaultServerOptions() }
+
+// NewAgentMetrics registers the highrpm_agent_* gauges on reg.
+func NewAgentMetrics(reg *MetricsRegistry) *AgentMetrics { return cluster.NewAgentMetrics(reg) }
 
 // Attribution types: per-job energy accounting on shared nodes (see
 // examples/accounting).

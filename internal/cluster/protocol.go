@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 
 	"highrpm/internal/tsdb"
 )
@@ -118,80 +117,18 @@ type QueryRequest struct {
 	ResolutionS int `json:"resolution_s,omitempty"`
 }
 
-// NullFloat marshals NaN/Inf as JSON null (encoding/json rejects them) and
-// restores null as NaN, so sparse channels survive the wire.
-type NullFloat float64
-
-// MarshalJSON renders non-finite values as null.
-func (f NullFloat) MarshalJSON() ([]byte, error) {
-	v := float64(f)
-	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return []byte("null"), nil
-	}
-	return json.Marshal(v)
-}
-
-// UnmarshalJSON restores null as NaN.
-func (f *NullFloat) UnmarshalJSON(b []byte) error {
-	if string(b) == "null" {
-		*f = NullFloat(math.NaN())
-		return nil
-	}
-	var v float64
-	if err := json.Unmarshal(b, &v); err != nil {
-		return err
-	}
-	*f = NullFloat(v)
-	return nil
-}
-
-// SeriesPoint is one wire-encoded store point (see tsdb.Point).
-type SeriesPoint struct {
-	Time  float64   `json:"t"`
-	Value NullFloat `json:"v"`
-	Min   NullFloat `json:"min"`
-	Max   NullFloat `json:"max"`
-	Count int       `json:"n"`
-}
-
-// SeriesBody answers a KindQuery.
-type SeriesBody struct {
-	NodeID      string        `json:"node_id,omitempty"` // empty: aggregate
-	Channel     string        `json:"channel"`
-	ResolutionS int           `json:"resolution_s"`
-	Points      []SeriesPoint `json:"points"`
-}
-
-// toSeriesPoints converts store points for the wire.
-func toSeriesPoints(pts []tsdb.Point) []SeriesPoint {
-	out := make([]SeriesPoint, len(pts))
-	for i, p := range pts {
-		out[i] = SeriesPoint{
-			Time:  p.Time,
-			Value: NullFloat(p.Value),
-			Min:   NullFloat(p.Min),
-			Max:   NullFloat(p.Max),
-			Count: p.Count,
-		}
-	}
-	return out
-}
-
-// StorePoints converts the wire points back to store points, e.g. for
-// tracefile.WriteSeries.
-func (b SeriesBody) StorePoints() []tsdb.Point {
-	out := make([]tsdb.Point, len(b.Points))
-	for i, p := range b.Points {
-		out[i] = tsdb.Point{
-			Time:  p.Time,
-			Value: float64(p.Value),
-			Min:   float64(p.Min),
-			Max:   float64(p.Max),
-			Count: p.Count,
-		}
-	}
-	return out
-}
+// The series wire encoding lives in tsdb (tsdb/json.go) so the TCP
+// protocol, the obs HTTP API, and the highrpm-query -json output all
+// marshal one set of types and agree byte-for-byte. The aliases keep the
+// cluster names every existing caller uses.
+type (
+	// NullFloat marshals NaN/Inf as JSON null and restores null as NaN.
+	NullFloat = tsdb.NullFloat
+	// SeriesPoint is one wire-encoded store point (see tsdb.Point).
+	SeriesPoint = tsdb.SeriesPoint
+	// SeriesBody answers a KindQuery.
+	SeriesBody = tsdb.SeriesBody
+)
 
 // ErrorBody carries a server-side error message.
 type ErrorBody struct {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"highrpm/internal/core"
+	"highrpm/internal/obs"
 	"highrpm/internal/tsdb"
 )
 
@@ -70,6 +71,16 @@ type Service struct {
 	measured  atomic.Int64
 	rejected  atomic.Int64
 	timedOut  atomic.Int64
+
+	// lmu guards latest, the newest estimate per node — what the obs
+	// highrpm_node_power_watts gauges and dashboards read. A dedicated
+	// mutex keeps the per-sample update off the connection-table lock.
+	lmu    sync.Mutex
+	latest map[string]LatestEstimate
+
+	// meter, when set (RegisterMetrics), prices each estimation tick for
+	// the highrpm_overhead_* self-metering series.
+	meter atomic.Pointer[obs.SelfMeter]
 
 	// Logf sinks service logs (defaults to log.Printf).
 	Logf func(format string, args ...any)
@@ -325,8 +336,12 @@ func (s *Service) handle(conn net.Conn) error {
 				s.measured.Add(1)
 			}
 			mon := s.monitorFor(smp.NodeID)
+			// One estimation tick — model inference plus the history
+			// record — is the unit the overhead self-metering prices.
+			tickDone := s.meter.Load().Tick()
 			est, err := mon.Push(smp.PMC, smp.Measured)
 			if err != nil {
+				tickDone()
 				if werr := WriteMsg(w, KindError, ErrorBody{Message: err.Error()}); werr != nil {
 					return werr
 				}
@@ -334,6 +349,7 @@ func (s *Service) handle(conn net.Conn) error {
 			}
 			s.estimates.Add(1)
 			s.record(smp, est)
+			tickDone()
 			out := Estimate{
 				NodeID: smp.NodeID, Time: smp.Time,
 				PNode: est.PNode, PCPU: est.PCPU, PMEM: est.PMEM,
@@ -400,6 +416,20 @@ func (s *Service) record(smp Sample, est core.MonitorEstimate) {
 	if smp.Measured != nil {
 		ipmi = *smp.Measured
 	}
+	s.lmu.Lock()
+	if s.latest == nil {
+		s.latest = map[string]LatestEstimate{}
+	}
+	s.latest[smp.NodeID] = LatestEstimate{
+		Time:            smp.Time,
+		PNode:           est.PNode,
+		PCPU:            est.PCPU,
+		PMEM:            est.PMEM,
+		PNodePrime:      est.PNodePrime,
+		IPMI:            ipmi,
+		FromMeasurement: est.FromMeasurement,
+	}
+	s.lmu.Unlock()
 	err := s.store.Ingest(smp.NodeID, smp.Time, tsdb.Sample{
 		PNode:      est.PNode,
 		PCPU:       est.PCPU,
@@ -412,27 +442,35 @@ func (s *Service) record(smp Sample, est core.MonitorEstimate) {
 	}
 }
 
-// answerQuery resolves a KindQuery against the store.
+// answerQuery resolves a KindQuery against the store, through the same
+// tsdb.QuerySeries path the obs HTTP endpoints use — one code path, one
+// JSON encoding.
 func (s *Service) answerQuery(q QueryRequest) (SeriesBody, error) {
-	res, err := tsdb.ParseResolution(q.ResolutionS)
-	if err != nil {
-		return SeriesBody{}, err
+	return s.store.QuerySeries(q.NodeID, q.Channel, q.From, q.To, q.ResolutionS)
+}
+
+// LatestEstimate is the newest restored power the service computed for
+// one node — what the per-node power gauges export.
+type LatestEstimate struct {
+	Time            float64
+	PNode           float64
+	PCPU            float64
+	PMEM            float64
+	PNodePrime      float64
+	IPMI            float64 // NaN when the sample carried no IM reading
+	FromMeasurement bool
+}
+
+// LatestEstimates snapshots the newest estimate per node (a copy; safe to
+// range without holding service locks).
+func (s *Service) LatestEstimates() map[string]LatestEstimate {
+	s.lmu.Lock()
+	defer s.lmu.Unlock()
+	out := make(map[string]LatestEstimate, len(s.latest))
+	for k, v := range s.latest {
+		out[k] = v
 	}
-	var pts []tsdb.Point
-	if q.NodeID == "" {
-		pts, err = s.store.Aggregate(tsdb.Channel(q.Channel), q.From, q.To, res)
-	} else {
-		pts, err = s.store.Query(q.NodeID, tsdb.Channel(q.Channel), q.From, q.To, res)
-	}
-	if err != nil {
-		return SeriesBody{}, err
-	}
-	return SeriesBody{
-		NodeID:      q.NodeID,
-		Channel:     q.Channel,
-		ResolutionS: int(res),
-		Points:      toSeriesPoints(pts),
-	}, nil
+	return out
 }
 
 // Stats snapshots service counters.

@@ -6,28 +6,46 @@ import (
 	"strings"
 )
 
-// leakcheck enforces the cluster test-suite convention introduced with
-// the fault-tolerance work: every Test* under internal/cluster/... that
-// spawns goroutines — directly, through package helpers, or by starting
-// a service/agent — must arm the checkNoLeaks goroutine-leak guard so a
-// handler or reconnect loop that outlives its test fails the suite.
+// leakcheck enforces the goroutine-guard test-suite convention introduced
+// with the fault-tolerance work and extended to the observability server:
+// every Test* under internal/cluster/... or internal/obs/... that spawns
+// goroutines — directly, through package helpers, or by starting a
+// service, agent, or HTTP server — must arm the checkNoLeaks
+// goroutine-leak guard so a handler, reconnect loop, or serve goroutine
+// that outlives its test fails the suite.
 type leakcheck struct{}
 
 func (leakcheck) Name() string { return "leakcheck" }
 func (leakcheck) Doc() string {
-	return "cluster tests that spawn goroutines or start services must call checkNoLeaks"
+	return "cluster and obs tests that spawn goroutines or start servers must call checkNoLeaks"
 }
 
-// spawnAPINames are cluster entry points known to start background
+// spawnAPINames are cluster/obs entry points known to start background
 // goroutines even when the call resolves outside the analyzed unit
-// (e.g. an external test package dialing a service).
+// (e.g. an external test package dialing a service or listening an obs
+// server).
 var spawnAPINames = map[string]bool{
 	"Listen": true, "Serve": true, "Dial": true,
 	"DialResilientService": true, "Start": true,
 }
 
+// leakcheckedPrefixes are the package trees the convention covers.
+var leakcheckedPrefixes = []string{
+	modulePath + "/internal/cluster",
+	modulePath + "/internal/obs",
+}
+
+func leakcheckedPkg(path string) bool {
+	for _, p := range leakcheckedPrefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
 func (leakcheck) Run(pass *Pass) {
-	if !strings.HasPrefix(pass.Pkg.BasePath(), modulePath+"/internal/cluster") {
+	if !leakcheckedPkg(pass.Pkg.BasePath()) {
 		return
 	}
 	info := pass.Pkg.Info
@@ -75,7 +93,7 @@ func (leakcheck) Run(pass *Pass) {
 				if fn.Name() == "checkNoLeaks" {
 					guards[obj] = true
 				}
-				if fn.Pkg() != nil && strings.HasPrefix(fn.Pkg().Path(), modulePath+"/internal/cluster") && spawnAPINames[fn.Name()] {
+				if fn.Pkg() != nil && leakcheckedPkg(fn.Pkg().Path()) && spawnAPINames[fn.Name()] {
 					spawns[obj] = true
 				}
 				if _, local := decls[fn]; local {

@@ -51,6 +51,9 @@ func TestFixtureFiresEveryAnalyzer(t *testing.T) {
 		"maporder internal/core/core.go:37",
 		"maporder internal/core/core.go:46",
 		"layering internal/mat/mat.go:5",
+		"leakcheck internal/obs/obs_test.go:10",
+		"errdrop internal/obs/server.go:32",
+		"errdrop internal/obs/server.go:37",
 		"layering internal/util/util.go:4",
 	}
 	got := make([]string, 0, len(res.Diagnostics))
@@ -73,9 +76,11 @@ func TestCleanIdiomsNotFlagged(t *testing.T) {
 		switch {
 		case d.Rule == "maporder" && d.Pos.Line > 50:
 			t.Errorf("collect-then-sort idiom flagged: %s", d)
-		case d.Rule == "errdrop" && d.Pos.Line > 10:
+		case d.Rule == "errdrop" && strings.Contains(d.Pos.Filename, "drop.go") && d.Pos.Line > 10:
 			t.Errorf("explicit _ = or defer flagged: %s", d)
-		case d.Rule == "leakcheck" && !strings.Contains(d.Message, "TestLeaky"):
+		case d.Rule == "errdrop" && strings.Contains(d.Pos.Filename, "obs/server.go") && d.Pos.Line > 38:
+			t.Errorf("propagated or deferred close flagged: %s", d)
+		case d.Rule == "leakcheck" && !strings.Contains(d.Message, "Leaky"):
 			t.Errorf("guarded or pure test flagged: %s", d)
 		}
 	}

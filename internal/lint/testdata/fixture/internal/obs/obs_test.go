@@ -1,0 +1,26 @@
+package obs
+
+import "testing"
+
+// checkNoLeaks stands in for the real goroutine-leak guard.
+func checkNoLeaks(t testing.TB) { t.Helper() }
+
+// TestServeLeaky starts the server's goroutine without arming the guard:
+// leakcheck violation.
+func TestServeLeaky(t *testing.T) {
+	s := &Server{}
+	s.Listen()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeGuarded arms the guard and must not be flagged.
+func TestServeGuarded(t *testing.T) {
+	checkNoLeaks(t)
+	s := &Server{}
+	s.Listen()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

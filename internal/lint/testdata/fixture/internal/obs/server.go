@@ -1,0 +1,51 @@
+// Package obs carries the errdrop and leakcheck fixtures for the
+// observability server layer: discarded (*http.Server).Shutdown and
+// obs-style Server Close errors, and tests that start the serve
+// goroutine without arming the guard.
+package obs
+
+import (
+	"context"
+	"net/http"
+)
+
+// Server is an obs-like embeddable HTTP server.
+type Server struct {
+	done chan struct{}
+}
+
+// Listen starts the serve goroutine.
+func (s *Server) Listen() {
+	s.done = make(chan struct{})
+	go func() { <-s.done }()
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	close(s.done)
+	return nil
+}
+
+// stopDropped discards the (*http.Server).Shutdown error: errdrop
+// violation.
+func stopDropped(ctx context.Context, h *http.Server) {
+	h.Shutdown(ctx)
+}
+
+// closeDropped discards the Server Close error: errdrop violation.
+func closeDropped(s *Server) {
+	s.Close()
+}
+
+// stopOK propagates both errors and must not be flagged.
+func stopOK(ctx context.Context, h *http.Server, s *Server) error {
+	if err := h.Shutdown(ctx); err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+// closeDeferred defers cleanup, which is exempt by design.
+func closeDeferred(s *Server) {
+	defer s.Close()
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// SelfMeter prices the monitor's own cost — the Diamond/Stoico "what does
+// energy monitoring cost?" question, answered from our own scrape. Each
+// estimation tick (one sample through Monitor.Push plus its history
+// record) is timed through Tick and exported as the highrpm_overhead_*
+// family: a tick-latency histogram plus cumulative wall time, and at
+// gather time the process-wide runtime costs (cumulative allocations,
+// GC pauses, GC CPU fraction, live goroutines) that the estimation load
+// dominates in a deployed monitor.
+//
+// Per-tick allocation deltas are deliberately not measured:
+// runtime.ReadMemStats is a stop-the-world read, so taking it per tick
+// would make the meter the overhead it is supposed to measure. The
+// cumulative runtime stats are read once per scrape instead.
+type SelfMeter struct {
+	ticks Counter
+	wall  Counter
+	hist  Histogram
+}
+
+// TickBuckets are the default tick-latency histogram bounds in seconds:
+// 10 µs to 1 s, one decade apart. A healthy software power model spends
+// well under a millisecond per sample; the top buckets exist to make
+// pathology visible, not to flatter the common case.
+var TickBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+// NewSelfMeter registers the highrpm_overhead_* metrics on reg and
+// returns the meter that feeds them. The runtime-derived gauges are
+// refreshed by a gather callback, so their cost (one ReadMemStats) is
+// paid per scrape, not per tick.
+func NewSelfMeter(reg *Registry) *SelfMeter {
+	m := &SelfMeter{
+		ticks: reg.Counter("highrpm_overhead_ticks_total",
+			"Estimation ticks metered (one per sample processed)."),
+		wall: reg.Counter("highrpm_overhead_wall_seconds_total",
+			"Cumulative wall-clock time spent inside estimation ticks."),
+		hist: reg.Histogram("highrpm_overhead_tick_seconds",
+			"Wall-clock latency of one estimation tick.", TickBuckets),
+	}
+	allocBytes := reg.Counter("highrpm_overhead_alloc_bytes_total",
+		"Cumulative bytes allocated by the monitor process (runtime.MemStats.TotalAlloc).")
+	mallocs := reg.Counter("highrpm_overhead_mallocs_total",
+		"Cumulative heap objects allocated by the monitor process.")
+	gcPause := reg.Counter("highrpm_overhead_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time of the monitor process.")
+	gcFrac := reg.Gauge("highrpm_overhead_gc_cpu_fraction",
+		"Fraction of available CPU consumed by the GC since process start.")
+	heap := reg.Gauge("highrpm_overhead_heap_bytes",
+		"Live heap bytes of the monitor process (runtime.MemStats.HeapAlloc).")
+	goroutines := reg.Gauge("highrpm_overhead_goroutines",
+		"Goroutines live in the monitor process.")
+	reg.OnGather(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		allocBytes.Set(float64(ms.TotalAlloc))
+		mallocs.Set(float64(ms.Mallocs))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		gcFrac.Set(ms.GCCPUFraction)
+		heap.Set(float64(ms.HeapAlloc))
+		goroutines.Set(float64(runtime.NumGoroutine()))
+	})
+	return m
+}
+
+// Tick starts timing one estimation tick; the returned func stops the
+// clock and records the observation. Nil-receiver safe so call sites can
+// meter unconditionally: (*SelfMeter)(nil).Tick() returns a no-op.
+func (m *SelfMeter) Tick() func() {
+	if m == nil {
+		return func() {}
+	}
+	start := wallClock()
+	return func() {
+		d := wallClock().Sub(start).Seconds()
+		m.ticks.Inc()
+		m.wall.Add(d)
+		m.hist.Observe(d)
+	}
+}
+
+// Ticks reports how many ticks the meter has recorded.
+func (m *SelfMeter) Ticks() float64 { return m.ticks.Value() }
+
+// wallClock is the single wall-clock read in this package, following the
+// internal/core convention: overhead metering reports real elapsed cost
+// and deliberately never feeds an estimate, so it is the justified
+// exception to the no-wall-clock rule the model packages live under.
+func wallClock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,180 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+)
+
+// boundary_test.go pins the rollup bucket-edge and retention edge cases:
+// a sample landing exactly on a 10s/60s bucket boundary must seal the
+// previous bucket rather than join it, and retention must account for
+// partially-filled rollup windows it evicts.
+
+func ingestAt(t *testing.T, st *Store, node string, sec float64, v float64) {
+	t.Helper()
+	smp := Sample{PNode: v, PCPU: v, PMEM: v, PNodePrime: v, IPMI: v}
+	if err := st.Ingest(node, sec, smp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRollupBucketEdgeSample(t *testing.T) {
+	st := New(DefaultOptions())
+	// Fill the first 10s window completely, then land exactly on the edge.
+	for i := 0; i <= 60; i++ {
+		ingestAt(t, st, "n", float64(i), float64(i))
+	}
+
+	pts, err := st.Query("n", ChanPNode, 0, 60, TenSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six sealed buckets [0,10) .. [50,60) plus the open bucket at 60.
+	if len(pts) != 7 {
+		t.Fatalf("got %d 10s buckets, want 7: %+v", len(pts), pts)
+	}
+	first := pts[0]
+	if first.Time != 0 || first.Count != 10 || first.Min != 0 || first.Max != 9 || first.Value != 4.5 {
+		t.Errorf("bucket [0,10) = %+v, want time 0 count 10 min 0 max 9 mean 4.5", first)
+	}
+	// t=10 must have opened a NEW bucket, not extended [0,10).
+	second := pts[1]
+	if second.Time != 10 || second.Count != 10 || second.Min != 10 || second.Max != 19 {
+		t.Errorf("bucket [10,20) = %+v, want time 10 count 10 min 10 max 19", second)
+	}
+	open := pts[6]
+	if open.Time != 60 || open.Count != 1 || open.Value != 60 {
+		t.Errorf("open bucket = %+v, want time 60 count 1 value 60", open)
+	}
+
+	// Same edge at the 60s resolution: t=60 seals [0,60) with exactly 60
+	// points and starts the next window.
+	pts, err = st.Query("n", ChanPNode, 0, 60, Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d 60s buckets, want 2: %+v", len(pts), pts)
+	}
+	sealed := pts[0]
+	if sealed.Time != 0 || sealed.Count != 60 || sealed.Min != 0 || sealed.Max != 59 || sealed.Value != 29.5 {
+		t.Errorf("bucket [0,60) = %+v, want count 60 min 0 max 59 mean 29.5", sealed)
+	}
+	if pts[1].Time != 60 || pts[1].Count != 1 {
+		t.Errorf("open 60s bucket = %+v, want time 60 count 1", pts[1])
+	}
+}
+
+func TestRollupNegativeTimeFloors(t *testing.T) {
+	st := New(DefaultOptions())
+	// Bucket flooring must round toward -inf, not toward zero: t=-1s
+	// belongs to [-10,0), not [0,10).
+	ingestAt(t, st, "n", -1, 7)
+	ingestAt(t, st, "n", 0, 8) // crosses the edge, seals [-10,0)
+
+	pts, err := st.Query("n", ChanPNode, -10, -0.001, TenSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Time != -10 || pts[0].Count != 1 || pts[0].Value != 7 {
+		t.Fatalf("negative bucket = %+v, want sealed [-10,0) with the t=-1 point", pts)
+	}
+}
+
+func TestRetentionEvictsPartialRollupWindow(t *testing.T) {
+	st := New(Options{BlockPoints: 2, RetainRaw: 100, Retain10s: 4, Retain60s: 0})
+
+	// A partially-filled window: 5 of 10 slots in [0,10).
+	for i := 0; i < 5; i++ {
+		ingestAt(t, st, "n", float64(i), float64(i))
+	}
+	// Time jump seals the partial bucket; it must carry only the points
+	// that actually landed in it.
+	ingestAt(t, st, "n", 20, 20)
+	pts, err := st.Query("n", ChanPNode, 0, 9, TenSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Count != 5 || pts[0].Min != 0 || pts[0].Max != 4 || pts[0].Value != 2 {
+		t.Fatalf("partial sealed bucket = %+v, want count 5 min 0 max 4 mean 2", pts)
+	}
+	if st.Stats().EvictedPoints != 0 {
+		t.Fatalf("premature eviction: %+v", st.Stats())
+	}
+
+	// Keep jumping one bucket at a time until retention (4 buckets, block
+	// granule 2) evicts the oldest block — which holds the partial window.
+	for _, sec := range []float64{30, 40, 50, 60, 70} {
+		ingestAt(t, st, "n", sec, sec)
+	}
+	pts, err = st.Query("n", ChanPNode, 0, 1000, TenSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 || pts[0].Time != 30 {
+		t.Fatalf("oldest retained bucket = %+v, want the partial [0,10) and [20,30) evicted", pts)
+	}
+	if got := pts[len(pts)-1]; got.Time != 70 || got.Count != 1 {
+		t.Errorf("open bucket after eviction = %+v, want time 70 count 1", got)
+	}
+	// One evicted block = 2 rollup points, on each of the 5 channels.
+	if got := st.Stats().EvictedPoints; got != 10 {
+		t.Errorf("EvictedPoints = %d, want 10 (2 buckets x 5 channels)", got)
+	}
+}
+
+func TestRetentionRawEvictionAccounting(t *testing.T) {
+	st := New(Options{BlockPoints: 2, RetainRaw: 4, Retain10s: 0, Retain60s: 0})
+	for i := 0; i < 10; i++ {
+		ingestAt(t, st, "n", float64(i), float64(i))
+	}
+	pts, err := st.Query("n", ChanPNode, 0, 100, Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appends evict whole 2-point blocks once 4 points survive without
+	// them: 10 ingested, 3 evictions of 2, 4 retained (t=6..9).
+	if len(pts) != 4 || pts[0].Time != 6 || pts[3].Time != 9 {
+		t.Fatalf("retained raw = %+v, want t=6..9", pts)
+	}
+	if got := st.Stats().EvictedPoints; got != 30 {
+		t.Errorf("EvictedPoints = %d, want 30 (6 raw points x 5 channels)", got)
+	}
+	// Latest still serves the newest point after eviction.
+	p, err := st.Latest("n", ChanPNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Time != 9 || p.Value != 9 {
+		t.Errorf("Latest = %+v, want t=9 v=9", p)
+	}
+}
+
+func TestLatestEdgeCases(t *testing.T) {
+	st := New(DefaultOptions())
+	if _, err := st.Latest("ghost", ChanPNode); err == nil {
+		t.Error("Latest on unknown node should error")
+	}
+	ingestAt(t, st, "n", 1, 11)
+	if _, err := st.Latest("n", Channel("bogus")); err == nil {
+		t.Error("Latest on unknown channel should error")
+	}
+	p, err := st.Latest("n", ChanIPMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Time != 1 || p.Value != 11 {
+		t.Errorf("Latest = %+v", p)
+	}
+	// NaN round-trips bit-exactly through the raw series.
+	if err := st.Ingest("n", 2, Sample{PNode: 5, IPMI: math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	p, err = st.Latest("n", ChanIPMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Time != 2 || !math.IsNaN(p.Value) {
+		t.Errorf("Latest NaN = %+v, want NaN at t=2", p)
+	}
+}

@@ -1,0 +1,115 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// This file is the JSON series encoding shared by every surface that ships
+// store points: the cluster TCP protocol (KindSeries replies), the obs
+// HTTP API (/api/v1/query, /api/v1/series) and the highrpm-query -json
+// output all marshal the same SeriesBody, so a series is byte-identical no
+// matter which door it left through.
+
+// NullFloat marshals NaN/Inf as JSON null (encoding/json rejects them) and
+// restores null as NaN, so sparse channels survive the wire.
+type NullFloat float64
+
+// MarshalJSON renders non-finite values as null.
+func (f NullFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON restores null as NaN.
+func (f *NullFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = NullFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = NullFloat(v)
+	return nil
+}
+
+// SeriesPoint is one wire-encoded store point (see Point).
+type SeriesPoint struct {
+	Time  float64   `json:"t"`
+	Value NullFloat `json:"v"`
+	Min   NullFloat `json:"min"`
+	Max   NullFloat `json:"max"`
+	Count int       `json:"n"`
+}
+
+// SeriesBody is one encoded series: the answer to a cluster KindQuery and
+// the payload of the obs HTTP series endpoints.
+type SeriesBody struct {
+	NodeID      string        `json:"node_id,omitempty"` // empty: aggregate
+	Channel     string        `json:"channel"`
+	ResolutionS int           `json:"resolution_s"`
+	Points      []SeriesPoint `json:"points"`
+}
+
+// ToSeriesPoints converts store points for the wire.
+func ToSeriesPoints(pts []Point) []SeriesPoint {
+	out := make([]SeriesPoint, len(pts))
+	for i, p := range pts {
+		out[i] = SeriesPoint{
+			Time:  p.Time,
+			Value: NullFloat(p.Value),
+			Min:   NullFloat(p.Min),
+			Max:   NullFloat(p.Max),
+			Count: p.Count,
+		}
+	}
+	return out
+}
+
+// StorePoints converts the wire points back to store points, e.g. for
+// tracefile.WriteSeries.
+func (b SeriesBody) StorePoints() []Point {
+	out := make([]Point, len(b.Points))
+	for i, p := range b.Points {
+		out[i] = Point{
+			Time:  p.Time,
+			Value: float64(p.Value),
+			Min:   float64(p.Min),
+			Max:   float64(p.Max),
+			Count: p.Count,
+		}
+	}
+	return out
+}
+
+// QuerySeries resolves one series request in its wire form: a node's
+// channel (or, with node empty, the cluster-wide aggregate) over
+// [from, to] seconds at resolutionS (0 selects raw). The TCP KindQuery
+// handler and the HTTP /api/v1/series endpoint both answer through this
+// method, which is what keeps their JSON byte-for-byte identical.
+func (st *Store) QuerySeries(node, channel string, from, to float64, resolutionS int) (SeriesBody, error) {
+	res, err := ParseResolution(resolutionS)
+	if err != nil {
+		return SeriesBody{}, err
+	}
+	var pts []Point
+	if node == "" {
+		pts, err = st.Aggregate(Channel(channel), from, to, res)
+	} else {
+		pts, err = st.Query(node, Channel(channel), from, to, res)
+	}
+	if err != nil {
+		return SeriesBody{}, err
+	}
+	return SeriesBody{
+		NodeID:      node,
+		Channel:     channel,
+		ResolutionS: int(res),
+		Points:      ToSeriesPoints(pts),
+	}, nil
+}

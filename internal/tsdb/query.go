@@ -62,6 +62,7 @@ func (st *Store) Query(node string, ch Channel, from, to float64, res Resolution
 	}
 	fromMs := clampMillis(math.Floor(from * 1000))
 	toMs := clampMillis(math.Ceil(to * 1000))
+	st.queries.Add(1)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	cs := sh.chans[idx]
@@ -71,6 +72,7 @@ func (st *Store) Query(node string, ch Channel, from, to float64, res Resolution
 			v := vals[0]
 			pts = append(pts, Point{Time: float64(t) / 1000, Value: v, Min: v, Max: v, Count: 1})
 		})
+		st.pointsOut.Add(int64(len(pts)))
 		return pts, err
 	}
 	ru := cs.rollupFor(res)
@@ -87,7 +89,47 @@ func (st *Store) Query(node string, ch Channel, from, to float64, res Resolution
 	if p, ok := ru.openPoint(fromMs, toMs); ok {
 		pts = append(pts, p)
 	}
+	st.pointsOut.Add(int64(len(pts)))
 	return pts, nil
+}
+
+// Latest returns the newest retained raw point of node's channel without
+// decoding the whole series: only the youngest non-empty block is walked.
+// It backs the obs /api/v1/query instant endpoint and dashboard-style
+// "current power" reads.
+func (st *Store) Latest(node string, ch Channel) (Point, error) {
+	idx, err := channelIndex(ch)
+	if err != nil {
+		return Point{}, err
+	}
+	st.mu.RLock()
+	sh := st.shards[node]
+	st.mu.RUnlock()
+	if sh == nil {
+		return Point{}, fmt.Errorf("tsdb: no history for node %q", node)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	blocks := sh.chans[idx].raw.blocks
+	for i := len(blocks) - 1; i >= 0; i-- {
+		blk := blocks[i]
+		if blk.n == 0 {
+			continue
+		}
+		var last Point
+		err := blk.decode(func(t int64, vals []float64) bool {
+			v := vals[0]
+			last = Point{Time: float64(t) / 1000, Value: v, Min: v, Max: v, Count: 1}
+			return true
+		})
+		if err != nil {
+			return Point{}, err
+		}
+		st.queries.Add(1)
+		st.pointsOut.Add(1)
+		return last, nil
+	}
+	return Point{}, fmt.Errorf("tsdb: no points for node %q channel %q", node, ch)
 }
 
 // Aggregate sums a channel across every node: per timestamp (raw) or
@@ -164,6 +206,15 @@ type Stats struct {
 	// are 0 while the store is empty.
 	BytesPerPoint    float64 `json:"bytes_per_point"`
 	CompressionRatio float64 `json:"compression_ratio"`
+	// Ingested counts Ingest calls accepted since the store was created
+	// (each writes NumChannels points). Queries counts per-series reads
+	// (Query and Latest calls; one Aggregate issues one per node) and
+	// PointsReturned the points those reads emitted. EvictedPoints counts
+	// raw and rollup points dropped by retention.
+	Ingested       int64 `json:"ingested"`
+	Queries        int64 `json:"queries"`
+	PointsReturned int64 `json:"points_returned"`
+	EvictedPoints  int64 `json:"evicted_points"`
 }
 
 // Stats walks every shard; it takes each shard lock briefly.
@@ -177,6 +228,10 @@ func (st *Store) Stats() Stats {
 	st.mu.RUnlock()
 	var out Stats
 	out.Nodes = len(shards)
+	out.Ingested = st.ingested.Load()
+	out.Queries = st.queries.Load()
+	out.PointsReturned = st.pointsOut.Load()
+	out.EvictedPoints = st.evicted.Load()
 	for _, sh := range shards {
 		sh.mu.Lock()
 		for _, cs := range sh.chans {

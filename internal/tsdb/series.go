@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"math"
+	"sync/atomic"
 
 	"highrpm/internal/stats"
 )
@@ -16,6 +17,10 @@ type series struct {
 	maxPoints   int // 0: unbounded
 	blocks      []*block
 	points      int
+	// evicted, when set, accumulates the points dropped by retention so
+	// the owning store can report them (Stats.EvictedPoints). It is
+	// shared store-wide; bumps happen under the shard lock.
+	evicted *atomic.Int64
 }
 
 func newSeries(k, blockPoints, maxPoints int) *series {
@@ -32,6 +37,9 @@ func (s *series) append(t int64, vals []float64) {
 	// overshoot is bounded by one block.
 	for s.maxPoints > 0 && len(s.blocks) > 1 && s.points-s.blocks[0].n >= s.maxPoints {
 		s.points -= s.blocks[0].n
+		if s.evicted != nil {
+			s.evicted.Add(int64(s.blocks[0].n))
+		}
 		s.blocks[0] = nil
 		s.blocks = s.blocks[1:]
 	}

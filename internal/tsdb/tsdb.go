@@ -165,12 +165,16 @@ type channelSeries struct {
 	r60 *rollup
 }
 
-func newChannelSeries(o Options) *channelSeries {
-	return &channelSeries{
+func newChannelSeries(o Options, evicted *atomic.Int64) *channelSeries {
+	cs := &channelSeries{
 		raw: newSeries(1, blockPointsFor(o.BlockPoints, o.RetainRaw), o.RetainRaw),
 		r10: newRollup(10_000, blockPointsFor(o.BlockPoints, o.Retain10s), o.Retain10s),
 		r60: newRollup(60_000, blockPointsFor(o.BlockPoints, o.Retain60s), o.Retain60s),
 	}
+	cs.raw.evicted = evicted
+	cs.r10.ser.evicted = evicted
+	cs.r60.ser.evicted = evicted
+	return cs
 }
 
 func (cs *channelSeries) add(t int64, v float64) {
@@ -195,10 +199,10 @@ type shard struct {
 	chans [NumChannels]*channelSeries
 }
 
-func newShard(o Options) *shard {
+func newShard(o Options, evicted *atomic.Int64) *shard {
 	sh := &shard{}
 	for i := range sh.chans {
-		sh.chans[i] = newChannelSeries(o)
+		sh.chans[i] = newChannelSeries(o, evicted)
 	}
 	return sh
 }
@@ -210,6 +214,14 @@ type Store struct {
 	mu     sync.RWMutex // guards the shard map, not the shards
 	shards map[string]*shard
 	closed atomic.Bool
+
+	// Activity counters surfaced through Stats (and from there the obs
+	// /metrics endpoint): ingested samples, served point reads, points
+	// returned, and raw+rollup points evicted by retention.
+	ingested  atomic.Int64
+	queries   atomic.Int64
+	pointsOut atomic.Int64
+	evicted   atomic.Int64
 }
 
 // New creates an empty store.
@@ -230,7 +242,7 @@ func (st *Store) shardFor(node string) *shard {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if sh = st.shards[node]; sh == nil {
-		sh = newShard(st.opts)
+		sh = newShard(st.opts, &st.evicted)
 		st.shards[node] = sh
 	}
 	return sh
@@ -255,6 +267,7 @@ func (st *Store) Ingest(node string, t float64, s Sample) error {
 	for i, v := range vals {
 		sh.chans[i].add(ts, v)
 	}
+	st.ingested.Add(1)
 	return nil
 }
 

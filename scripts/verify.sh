@@ -6,8 +6,9 @@
 # `go vet` and the project-specific highrpm-vet analyzers (determinism,
 # maporder, floateq, leakcheck, errdrop, layering — see internal/lint),
 # and race-checks the concurrent subsystems (the tsdb ingest/query paths,
-# the cluster service + fault-injection harness, the parallel training
-# engine in neural/tree/experiments, and the attribution ledger) so
+# the cluster service + fault-injection harness, the obs metric registry
+# and HTTP exposition server, the parallel training engine in
+# neural/tree/experiments, and the attribution ledger) so
 # locking regressions surface immediately. It then fuzzes the
 # wire-protocol decoders briefly, and finishes with one pass over the
 # PR 3 training benchmarks (BENCH_pr3.json) and the PR 4 cluster
@@ -31,8 +32,8 @@ echo "== highrpm-vet (project static analysis)"
 go run ./cmd/highrpm-vet ./...
 echo "== go test"
 go test ./...
-echo "== go test -race (tsdb, cluster incl. faultnet)"
-go test -race ./internal/tsdb ./internal/cluster/...
+echo "== go test -race (tsdb, cluster incl. faultnet, obs)"
+go test -race ./internal/tsdb ./internal/cluster/... ./internal/obs
 echo "== go test -race (parallel training: neural, tree, experiments; attribution)"
 go test -race ./internal/neural ./internal/tree ./internal/experiments/... ./internal/attribution
 echo "== fuzz wire protocol (10s per target)"
