@@ -8,16 +8,23 @@
 //
 //	highrpm-monitor [-model highrpm-model.json] [-nodes 2] [-bench HPCC/FFT]
 //	                [-duration 60] [-miss 10] [-read-timeout 5m] [-max-conns 0]
-//	                [-resilient] [-http 127.0.0.1:9090] [-pprof] [-grace 2s]
+//	                [-resilient] [-codec binary] [-batch 8] [-batch-interval 2s]
+//	                [-http 127.0.0.1:9090] [-pprof] [-grace 2s]
 //
-// Without -model a small model is trained in-process first (~seconds).
+// -help groups the knobs by subsystem (simulation, service hardening,
+// agent & wire protocol, observability). Without -model a small model is
+// trained in-process first (~seconds).
 //
 // The service-hardening flags map onto ServiceOptions: -read-timeout reaps
 // connections that go silent, -write-timeout bounds each reply, -max-frame
 // caps one wire frame, and -max-conns drops connections beyond the cap at
 // accept time. -resilient switches the simulated agents to the
 // fault-tolerant client, which reconnects with backoff and falls back to
-// local inference when the service is unreachable.
+// local inference when the service is unreachable. -codec pins the wire
+// codec (binary offers the zero-allocation framing in Hello, json keeps
+// the original protocol), and -batch/-batch-interval coalesce samples
+// into KindRecordBatch frames, amortizing one round trip over many
+// samples without changing any estimate.
 //
 // -http starts the observability endpoint on the given address: /metrics
 // in Prometheus text format (per-node power gauges, service and store
@@ -52,13 +59,22 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", highrpm.DefaultServiceOptions().WriteTimeout, "bound writing one reply (0: unbounded)")
 		maxFrame     = flag.Int("max-frame", highrpm.DefaultServiceOptions().MaxFrame, "largest wire frame in bytes")
 		maxConns     = flag.Int("max-conns", 0, "concurrent connection cap (0: unlimited)")
-		resilient    = flag.Bool("resilient", false, "use fault-tolerant agents (reconnect + degraded-mode fallback)")
+
+		resilient     = flag.Bool("resilient", false, "use fault-tolerant agents (reconnect + degraded-mode fallback)")
+		codec         = flag.String("codec", highrpm.CodecBinary, "wire codec the agents offer: binary or json")
+		batch         = flag.Int("batch", 1, "coalesce this many samples per RecordBatch frame (<2: one frame per sample)")
+		batchInterval = flag.Duration("batch-interval", 0, "flush a partial batch once its oldest sample has waited this long (0: size-only)")
 
 		httpAddr  = flag.String("http", "", "observability HTTP address, e.g. 127.0.0.1:9090 (empty: disabled)")
 		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof on the observability endpoint")
 		grace     = flag.Duration("grace", 2*time.Second, "graceful-shutdown drain for the service and HTTP endpoint")
 	)
+	flag.Usage = groupedUsage
 	flag.Parse()
+	if *codec != highrpm.CodecBinary && *codec != highrpm.CodecJSON {
+		fmt.Fprintf(os.Stderr, "highrpm-monitor: -codec must be %q or %q\n", highrpm.CodecBinary, highrpm.CodecJSON)
+		os.Exit(2)
+	}
 
 	model, err := loadOrTrain(*modelPath, *miss, *seed)
 	if err != nil {
@@ -135,12 +151,46 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			agent, err := dialAgent(svc.Addr(), nodeID, *resilient)
+			agent, err := dialAgent(svc.Addr(), nodeID, *resilient, *codec, highrpm.BatchOptions{
+				MaxSamples: *batch,
+				MaxDelay:   *batchInterval,
+			})
 			if err != nil {
 				fatal(err)
 			}
 			defer agent.Close()
 			node.Attach(b)
+
+			// With batching the estimates for queued samples arrive in
+			// bursts; pending pairs them back with the true power they
+			// restore, in send order.
+			type sent struct{ time, pNode, pCPU, pMEM float64 }
+			var pending []sent
+			handle := func(ests []highrpm.Estimate) {
+				for _, est := range ests {
+					s := pending[0]
+					pending = pending[1:]
+					mu.Lock()
+					sum.samples++
+					diff := est.PNode - s.pNode
+					if diff < 0 {
+						diff = -diff
+					}
+					sum.absErr += diff
+					if est.FromMeasurement {
+						sum.measured++
+					}
+					mu.Unlock()
+					if !*quiet && id == 0 {
+						tag := " "
+						if est.FromMeasurement {
+							tag = "*"
+						}
+						fmt.Printf("%s t=%3.0fs%s node=%6.1fW (true %6.1f)  cpu=%5.1fW (true %5.1f)  mem=%5.1fW (true %5.1f)\n",
+							nodeID, s.time, tag, est.PNode, s.pNode, est.PCPU, s.pCPU, est.PMEM, s.pMEM)
+					}
+				}
+			}
 			for t := 0; float64(t) < *duration; t++ {
 				s := node.Step(1)
 				var measured *float64
@@ -148,33 +198,23 @@ func main() {
 					v := s.PNode
 					measured = &v
 				}
-				est, err := agent.Send(s.Time, s.Counters.Slice(), measured)
+				pending = append(pending, sent{s.Time, s.PNode, s.PCPU, s.PMEM})
+				ests, err := agent.Record(s.Time, s.Counters.Slice(), measured)
 				if err != nil {
 					fatal(err)
 				}
 				if ra, ok := agent.(*highrpm.ResilientAgent); ok && am != nil {
 					am.Observe(ra)
 				}
-				mu.Lock()
-				sum.samples++
-				diff := est.PNode - s.PNode
-				if diff < 0 {
-					diff = -diff
-				}
-				sum.absErr += diff
-				if est.FromMeasurement {
-					sum.measured++
-				}
-				mu.Unlock()
-				if !*quiet && id == 0 {
-					tag := " "
-					if est.FromMeasurement {
-						tag = "*"
-					}
-					fmt.Printf("%s t=%3.0fs%s node=%6.1fW (true %6.1f)  cpu=%5.1fW (true %5.1f)  mem=%5.1fW (true %5.1f)\n",
-						nodeID, s.Time, tag, est.PNode, s.PNode, est.PCPU, s.PCPU, est.PMEM, s.PMEM)
-				}
+				handle(ests)
 			}
+			// Drain whatever a partial final batch still holds before the
+			// deferred Close tears the connection down.
+			ests, err := agent.Flush()
+			if err != nil {
+				fatal(err)
+			}
+			handle(ests)
 		}(n)
 	}
 	wg.Wait()
@@ -201,18 +241,83 @@ func main() {
 	}
 }
 
-// sender is the part of Agent / ResilientAgent the monitor loop needs.
+// sender is the part of Agent / ResilientAgent the monitor loop needs:
+// Record queues a sample (returning estimates when a batch flushed), Flush
+// drains a partial final batch.
 type sender interface {
-	Send(t float64, pmc []float64, measured *float64) (highrpm.Estimate, error)
+	Record(t float64, pmc []float64, measured *float64) ([]highrpm.Estimate, error)
+	Flush() ([]highrpm.Estimate, error)
 	Close() error
 }
 
-// dialAgent connects either the plain agent or the fault-tolerant one.
-func dialAgent(addr, nodeID string, resilient bool) (sender, error) {
+// dialAgent connects either the plain agent or the fault-tolerant one,
+// with the requested wire codec and batching configuration.
+func dialAgent(addr, nodeID string, resilient bool, codec string, batch highrpm.BatchOptions) (sender, error) {
 	if resilient {
-		return highrpm.DialResilientService(addr, nodeID, highrpm.DefaultAgentOptions())
+		opts := highrpm.DefaultAgentOptions()
+		opts.Codec = codec
+		opts.Batch = batch
+		return highrpm.DialResilientService(addr, nodeID, opts)
 	}
-	return highrpm.DialService(addr, nodeID)
+	a, err := highrpm.DialServiceCodec(addr, nodeID, codec)
+	if err != nil {
+		return nil, err
+	}
+	a.SetBatching(batch)
+	return a, nil
+}
+
+// flagGroups orders -help by subsystem instead of flag.PrintDefaults'
+// alphabetical interleaving. Flags registered but not listed here surface
+// under "Other" so new knobs can never silently vanish from the help text.
+var flagGroups = []struct {
+	title string
+	names []string
+}{
+	{"Simulation", []string{"model", "nodes", "bench", "duration", "miss", "retain", "seed", "quiet"}},
+	{"Service hardening", []string{"read-timeout", "write-timeout", "max-frame", "max-conns"}},
+	{"Agent & wire protocol", []string{"resilient", "codec", "batch", "batch-interval"}},
+	{"Observability & shutdown", []string{"http", "pprof", "grace"}},
+}
+
+// groupedUsage prints -help with the knobs grouped by subsystem.
+func groupedUsage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintln(w, "Usage of highrpm-monitor:")
+	listed := map[string]bool{}
+	printFlag := func(f *flag.Flag) {
+		arg, usage := flag.UnquoteUsage(f)
+		line := "  -" + f.Name
+		if arg != "" {
+			line += " " + arg
+		}
+		fmt.Fprintf(w, "%s\n    \t%s", line, usage)
+		if f.DefValue != "" && f.DefValue != "false" && f.DefValue != "0" && f.DefValue != "0s" {
+			fmt.Fprintf(w, " (default %s)", f.DefValue)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, g := range flagGroups {
+		fmt.Fprintf(w, "\n%s:\n", g.title)
+		for _, name := range g.names {
+			if f := flag.Lookup(name); f != nil {
+				printFlag(f)
+				listed[name] = true
+			}
+		}
+	}
+	var rest []*flag.Flag
+	flag.VisitAll(func(f *flag.Flag) {
+		if !listed[f.Name] {
+			rest = append(rest, f)
+		}
+	})
+	if len(rest) > 0 {
+		fmt.Fprintln(w, "\nOther:")
+		for _, f := range rest {
+			printFlag(f)
+		}
+	}
 }
 
 // loadOrTrain loads a persisted model or trains a compact one in-process.

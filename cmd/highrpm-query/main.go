@@ -100,6 +100,10 @@ func main() {
 		fmt.Printf("\nservice: %d nodes, %d samples (%d measured)\n", st.Nodes, st.Samples, st.Measured)
 		fmt.Printf("store: %d series, %d raw points, %d bytes (%.2f B/point, %.1fx vs 16 B uncompressed)\n",
 			st.Store.Series, st.Store.Points, st.Store.Bytes, st.Store.BytesPerPoint, st.Store.CompressionRatio)
+		fmt.Printf("codec: %d binary conns; frames %d binary / %d json; %d record batches carrying %d samples%s\n",
+			st.BinConns, st.BinFrames, st.JSONFrames, st.Batches, st.BatchSamples, meanBatch(st.Batches, st.BatchSamples))
+		fmt.Printf("cache: %d hits / %d misses%s, %d decoded points resident\n",
+			st.Store.CacheHits, st.Store.CacheMisses, hitRate(st.Store.CacheHits, st.Store.CacheMisses), st.Store.CachePoints)
 	}
 }
 
@@ -122,6 +126,22 @@ func printTable(body highrpm.Series) {
 			fmt.Printf("%10.1f %10s\n", p.Time, watts(float64(p.Value)))
 		}
 	}
+}
+
+// meanBatch renders the mean coalescing factor when any batches arrived.
+func meanBatch(batches, samples int64) string {
+	if batches == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (%.1f samples/batch)", float64(samples)/float64(batches))
+}
+
+// hitRate renders the cache hit rate when the cache has been consulted.
+func hitRate(hits, misses int64) string {
+	if hits+misses == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (%.1f%% hit rate)", 100*float64(hits)/float64(hits+misses))
 }
 
 // watts renders a value, leaving NaN gaps visibly empty.

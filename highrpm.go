@@ -211,6 +211,10 @@ type (
 	AgentCounters = cluster.AgentCounters
 	// AgentMode is a ResilientAgent's health state (connected or degraded).
 	AgentMode = cluster.Mode
+	// BatchOptions tunes agent-side sample coalescing (Agent.Record /
+	// ResilientAgent.Record flush a KindRecordBatch once MaxSamples are
+	// pending or the oldest has waited MaxDelay).
+	BatchOptions = cluster.BatchOptions
 	// Estimate is the service's restored power for one sample.
 	Estimate = cluster.Estimate
 	// QueryRequest asks the service for a window of stored power history.
@@ -231,6 +235,17 @@ const (
 	AgentDegraded = cluster.ModeDegraded
 )
 
+// Wire codecs an agent can ask for in its Hello offer.
+const (
+	// CodecJSON is the length-prefixed JSON framing (the original
+	// protocol, and what every pre-binary peer speaks).
+	CodecJSON = cluster.CodecJSON
+	// CodecBinary is the length-prefixed binary framing negotiated in
+	// Hello; services that predate it silently keep the connection on
+	// JSON.
+	CodecBinary = cluster.CodecBinary
+)
+
 // ErrFrameTooLarge reports a wire frame over the configured size cap.
 var ErrFrameTooLarge = cluster.ErrFrameTooLarge
 
@@ -245,8 +260,16 @@ func NewServiceWith(m *Model, opts ServiceOptions) *Service { return cluster.New
 // DefaultServiceOptions returns the deployment defaults for ServiceOptions.
 func DefaultServiceOptions() ServiceOptions { return cluster.DefaultServiceOptions() }
 
-// DialService connects a compute-node agent to the service.
+// DialService connects a compute-node agent to the service, offering the
+// binary codec and falling back to JSON against older services.
 func DialService(addr, nodeID string) (*Agent, error) { return cluster.Dial(addr, nodeID) }
+
+// DialServiceCodec connects with an explicit wire-codec preference:
+// CodecBinary offers the binary framing in Hello (JSON fallback),
+// CodecJSON pins the JSON protocol outright.
+func DialServiceCodec(addr, nodeID, codec string) (*Agent, error) {
+	return cluster.DialCodec(addr, nodeID, codec, 0)
+}
 
 // DialResilientService connects a fault-tolerant agent: it reconnects with
 // jittered exponential backoff, retries failed sends, and after repeated

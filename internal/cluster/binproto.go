@@ -1,0 +1,623 @@
+// The binary wire codec: the serving hot path's alternative to JSON
+// framing. Frames keep the 4-byte big-endian length prefix, but the body is
+// a 1-byte kind followed by a fixed-layout payload — big-endian integers,
+// float64s as raw bit patterns (NaN payloads survive), length-prefixed
+// strings. Messages without a hot-path payoff (stats, model transfer) ride
+// inside binKindJSON frames carrying one ordinary JSON envelope, so only
+// the per-second telemetry and query paths needed native encodings.
+//
+// A binFramer owns one connection's scratch: the read buffer, the write
+// buffer, the decoded-sample slices and the node-ID intern slot. Nothing
+// escapes a frame unless the caller copies it, which is what makes the
+// steady-state sample round trip allocation-free on both sides.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary frame kinds (the byte after the length prefix).
+const (
+	// binKindJSON wraps one JSON envelope — the escape hatch for message
+	// kinds without a native binary layout.
+	binKindJSON          byte = 0
+	binKindHello         byte = 1
+	binKindSample        byte = 2
+	binKindEstimate      byte = 3
+	binKindQuery         byte = 4
+	binKindSeries        byte = 5
+	binKindError         byte = 6
+	binKindRecordBatch   byte = 7
+	binKindEstimateBatch byte = 8
+)
+
+// Estimate flag bits (binKindEstimate payloads).
+const (
+	estFlagFromMeasurement byte = 1 << 0
+	estFlagLocal           byte = 1 << 1
+)
+
+// nodeIntern caches the one node-ID string a connection keeps repeating.
+// string(b) == ni.s compiles to a comparison without conversion, so the
+// steady state is a byte compare, not an allocation.
+type nodeIntern struct{ s string }
+
+func (ni *nodeIntern) intern(b []byte) string {
+	if string(b) == ni.s {
+		return ni.s
+	}
+	ni.s = string(b)
+	return ni.s
+}
+
+// binFramer frames and parses binary messages on one connection. It is
+// owned by a single goroutine (the agent, or the service's per-connection
+// handler) — none of its scratch is synchronised.
+type binFramer struct {
+	r        *bufio.Reader
+	w        *bufio.Writer
+	maxFrame int
+
+	rbuf []byte // frame payload scratch, reused across reads
+	wbuf []byte // frame build scratch, reused across writes
+
+	// lenBuf is the length-prefix scratch. A local would do, but locals
+	// handed to io.ReadFull / Writer.Write escape to the heap (the byte
+	// slice leaks into an interface call), costing an allocation per
+	// frame; a field rides the framer's own allocation instead.
+	lenBuf [4]byte
+	node   nodeIntern
+
+	// Decoded-message scratch: the sample/batch handed to the caller reuses
+	// these slices, so callers must finish with one message before reading
+	// the next (the request/response protocol guarantees that).
+	sample      Sample
+	measuredVal float64
+	batch       RecordBatch
+	batchVals   []float64 // backing for the batch samples' PMC slices
+	batchMeas   []float64 // backing for the batch samples' Measured pointers
+	batchOffs   []int     // PMC [start,end) offsets into batchVals
+}
+
+func newBinFramer(r *bufio.Reader, w *bufio.Writer, maxFrame int) *binFramer {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &binFramer{r: r, w: w, maxFrame: maxFrame}
+}
+
+// readFrame reads one binary frame, returning the kind and its payload.
+// The payload aliases the framer's scratch — valid until the next read.
+func (f *binFramer) readFrame() (byte, []byte, error) {
+	if _, err := io.ReadFull(f.r, f.lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(f.lenBuf[:])
+	if n > uint32(f.maxFrame) {
+		return 0, nil, fmt.Errorf("%w: length prefix claims %d bytes, cap %d", ErrFrameTooLarge, n, f.maxFrame)
+	}
+	if n == 0 {
+		return 0, nil, fmt.Errorf("cluster: empty binary frame")
+	}
+	kind, err := f.r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	buf, err := readFrameInto(f.r, f.rbuf, int(n)-1)
+	if buf != nil {
+		f.rbuf = buf
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	return kind, buf, nil
+}
+
+// begin starts building one outgoing frame; end length-prefixes and writes
+// it. Nothing reaches the connection until end, so a frame that trips the
+// size cap is dropped whole and the caller can send an error instead.
+func (f *binFramer) begin(kind byte) {
+	f.wbuf = append(f.wbuf[:0], kind)
+}
+
+func (f *binFramer) end() error {
+	if len(f.wbuf) > f.maxFrame {
+		return fmt.Errorf("%w: binary frame is %d bytes, cap %d", ErrFrameTooLarge, len(f.wbuf), f.maxFrame)
+	}
+	binary.BigEndian.PutUint32(f.lenBuf[:], uint32(len(f.wbuf)))
+	if _, err := f.w.Write(f.lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := f.w.Write(f.wbuf)
+	return err
+}
+
+// Append primitives (big-endian, fixed width).
+
+func (f *binFramer) u8(v byte)    { f.wbuf = append(f.wbuf, v) }
+func (f *binFramer) u16(v uint16) { f.wbuf = binary.BigEndian.AppendUint16(f.wbuf, v) }
+func (f *binFramer) u32(v uint32) { f.wbuf = binary.BigEndian.AppendUint32(f.wbuf, v) }
+func (f *binFramer) f64(v float64) {
+	f.wbuf = binary.BigEndian.AppendUint64(f.wbuf, math.Float64bits(v))
+}
+
+func (f *binFramer) str(s string) error {
+	if len(s) > math.MaxUint16 {
+		return fmt.Errorf("cluster: string field of %d bytes exceeds the 64 KiB wire limit", len(s))
+	}
+	f.u16(uint16(len(s)))
+	f.wbuf = append(f.wbuf, s...)
+	return nil
+}
+
+// binReader consumes a frame payload. Reads past the end set err; callers
+// check once at the end (and that the payload was consumed exactly).
+type binReader struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (r *binReader) u8() byte {
+	if r.off+1 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *binReader) u16() uint16 {
+	if r.off+2 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *binReader) u32() uint32 {
+	if r.off+4 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *binReader) f64() float64 {
+	if r.off+8 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *binReader) bytes(n int) []byte {
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// done reports whether the payload parsed cleanly and was consumed exactly
+// (trailing bytes are a protocol error, which keeps the codec fuzzable:
+// decode ∘ encode is the identity on every accepted payload).
+func (r *binReader) done() error {
+	if r.err {
+		return fmt.Errorf("cluster: truncated binary payload")
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("cluster: %d trailing bytes in binary payload", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// --- message encodings ---
+
+// Sample: node string, f64 time, u16 count + f64 PMC values, u8 presence
+// flag + optional f64 measured.
+
+func (f *binFramer) writeSample(nodeID string, t float64, pmc []float64, measured *float64) error {
+	f.begin(binKindSample)
+	if err := f.str(nodeID); err != nil {
+		return err
+	}
+	f.f64(t)
+	if len(pmc) > math.MaxUint16 {
+		return fmt.Errorf("cluster: %d PMC values exceed the wire limit", len(pmc))
+	}
+	f.u16(uint16(len(pmc)))
+	for _, v := range pmc {
+		f.f64(v)
+	}
+	if measured != nil {
+		f.u8(1)
+		f.f64(*measured)
+	} else {
+		f.u8(0)
+	}
+	return f.end()
+}
+
+// readSample decodes a binKindSample payload into the framer's scratch
+// Sample. The returned pointer (its PMC slice, its Measured pointer) is
+// valid until the next readSample/readRecordBatch on this framer.
+func (f *binFramer) readSample(payload []byte) (*Sample, error) {
+	r := binReader{b: payload}
+	node := r.bytes(int(r.u16()))
+	t := r.f64()
+	npmc := int(r.u16())
+	if npmc > len(payload)/8 {
+		return nil, fmt.Errorf("cluster: sample claims %d PMC values in a %d-byte payload", npmc, len(payload))
+	}
+	pmc := f.sample.PMC[:0]
+	for i := 0; i < npmc; i++ {
+		pmc = append(pmc, r.f64())
+	}
+	var measured *float64
+	switch r.u8() {
+	case 0:
+	case 1:
+		f.measuredVal = r.f64()
+		measured = &f.measuredVal
+	default:
+		// Strict on the presence flag: every accepted payload re-encodes to
+		// the same bytes, which is the round-trip law the fuzzer enforces.
+		return nil, fmt.Errorf("cluster: bad measured flag in binary sample")
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	f.sample = Sample{NodeID: f.node.intern(node), Time: t, PMC: pmc, Measured: measured}
+	return &f.sample, nil
+}
+
+// Estimate: node string, 4 × f64, u8 flags.
+
+func (f *binFramer) writeEstimate(est *Estimate) error {
+	f.begin(binKindEstimate)
+	if err := f.str(est.NodeID); err != nil {
+		return err
+	}
+	f.f64(est.Time)
+	f.f64(est.PNode)
+	f.f64(est.PCPU)
+	f.f64(est.PMEM)
+	var flags byte
+	if est.FromMeasurement {
+		flags |= estFlagFromMeasurement
+	}
+	if est.Local {
+		flags |= estFlagLocal
+	}
+	f.u8(flags)
+	return f.end()
+}
+
+func (f *binFramer) readEstimate(payload []byte) (Estimate, error) {
+	r := binReader{b: payload}
+	node := r.bytes(int(r.u16()))
+	est := Estimate{
+		Time:  r.f64(),
+		PNode: r.f64(),
+		PCPU:  r.f64(),
+		PMEM:  r.f64(),
+	}
+	flags := r.u8()
+	if err := r.done(); err != nil {
+		return Estimate{}, err
+	}
+	if flags&^(estFlagFromMeasurement|estFlagLocal) != 0 {
+		return Estimate{}, fmt.Errorf("cluster: unknown estimate flag bits %#x", flags)
+	}
+	est.NodeID = f.node.intern(node)
+	est.FromMeasurement = flags&estFlagFromMeasurement != 0
+	est.Local = flags&estFlagLocal != 0
+	return est, nil
+}
+
+// RecordBatch: node string, u32 count, then per sample f64 time, u16 PMC
+// count + values, u8 presence flag + optional f64 measured.
+
+func (f *binFramer) writeRecordBatch(nodeID string, samples []BatchSample) error {
+	f.begin(binKindRecordBatch)
+	if err := f.str(nodeID); err != nil {
+		return err
+	}
+	f.u32(uint32(len(samples)))
+	for i := range samples {
+		s := &samples[i]
+		f.f64(s.Time)
+		if len(s.PMC) > math.MaxUint16 {
+			return fmt.Errorf("cluster: %d PMC values exceed the wire limit", len(s.PMC))
+		}
+		f.u16(uint16(len(s.PMC)))
+		for _, v := range s.PMC {
+			f.f64(v)
+		}
+		if s.Measured != nil {
+			f.u8(1)
+			f.f64(*s.Measured)
+		} else {
+			f.u8(0)
+		}
+	}
+	return f.end()
+}
+
+// readRecordBatch decodes into the framer's scratch batch; the result and
+// every slice in it are valid until the next read on this framer.
+func (f *binFramer) readRecordBatch(payload []byte) (*RecordBatch, error) {
+	r := binReader{b: payload}
+	node := r.bytes(int(r.u16()))
+	n := int(r.u32())
+	if n > len(payload)/9 {
+		return nil, fmt.Errorf("cluster: batch claims %d samples in a %d-byte payload", n, len(payload))
+	}
+	samples := f.batch.Samples[:0]
+	vals := f.batchVals[:0]
+	meas := f.batchMeas[:0]
+	// PMC and Measured slices are carved out of single backing arrays after
+	// the loop (the arrays may move while growing), so the loop records
+	// offsets: per sample [pmcStart, pmcEnd, measuredIdx] with -1 for "no
+	// measurement".
+	offs := f.batchOffs[:0]
+	for i := 0; i < n; i++ {
+		t := r.f64()
+		npmc := int(r.u16())
+		if npmc > len(payload)/8 {
+			return nil, fmt.Errorf("cluster: batch sample claims %d PMC values in a %d-byte payload", npmc, len(payload))
+		}
+		start := len(vals)
+		for j := 0; j < npmc; j++ {
+			vals = append(vals, r.f64())
+		}
+		mi := -1
+		switch r.u8() {
+		case 0:
+		case 1:
+			mi = len(meas)
+			meas = append(meas, r.f64())
+		default:
+			return nil, fmt.Errorf("cluster: bad measured flag in binary batch")
+		}
+		offs = append(offs, start, len(vals), mi)
+		samples = append(samples, BatchSample{Time: t})
+	}
+	f.batchVals, f.batchMeas, f.batchOffs = vals, meas, offs
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	for i := range samples {
+		samples[i].PMC = vals[offs[3*i]:offs[3*i+1]:offs[3*i+1]]
+		if mi := offs[3*i+2]; mi >= 0 {
+			samples[i].Measured = &meas[mi]
+		}
+	}
+	f.batch = RecordBatch{NodeID: f.node.intern(node), Samples: samples}
+	return &f.batch, nil
+}
+
+// EstimateBatch: u32 count, then each estimate in the binKindEstimate
+// layout.
+
+func (f *binFramer) writeEstimateBatch(ests []Estimate) error {
+	f.begin(binKindEstimateBatch)
+	f.u32(uint32(len(ests)))
+	for i := range ests {
+		est := &ests[i]
+		if err := f.str(est.NodeID); err != nil {
+			return err
+		}
+		f.f64(est.Time)
+		f.f64(est.PNode)
+		f.f64(est.PCPU)
+		f.f64(est.PMEM)
+		var flags byte
+		if est.FromMeasurement {
+			flags |= estFlagFromMeasurement
+		}
+		if est.Local {
+			flags |= estFlagLocal
+		}
+		f.u8(flags)
+	}
+	return f.end()
+}
+
+func (f *binFramer) readEstimateBatch(payload []byte) ([]Estimate, error) {
+	r := binReader{b: payload}
+	n := int(r.u32())
+	if n > len(payload)/35 {
+		return nil, fmt.Errorf("cluster: estimate batch claims %d entries in a %d-byte payload", n, len(payload))
+	}
+	ests := make([]Estimate, 0, n)
+	for i := 0; i < n; i++ {
+		node := r.bytes(int(r.u16()))
+		est := Estimate{
+			Time:  r.f64(),
+			PNode: r.f64(),
+			PCPU:  r.f64(),
+			PMEM:  r.f64(),
+		}
+		flags := r.u8()
+		if flags&^(estFlagFromMeasurement|estFlagLocal) != 0 {
+			return nil, fmt.Errorf("cluster: unknown estimate flag bits %#x", flags)
+		}
+		est.NodeID = f.node.intern(node)
+		est.FromMeasurement = flags&estFlagFromMeasurement != 0
+		est.Local = flags&estFlagLocal != 0
+		ests = append(ests, est)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return ests, nil
+}
+
+// Query: node string, channel string, f64 from, f64 to, u32 resolution.
+
+func (f *binFramer) writeQuery(q QueryRequest) error {
+	f.begin(binKindQuery)
+	if err := f.str(q.NodeID); err != nil {
+		return err
+	}
+	if err := f.str(q.Channel); err != nil {
+		return err
+	}
+	f.f64(q.From)
+	f.f64(q.To)
+	f.u32(uint32(q.ResolutionS))
+	return f.end()
+}
+
+func (f *binFramer) readQuery(payload []byte) (QueryRequest, error) {
+	r := binReader{b: payload}
+	node := r.bytes(int(r.u16()))
+	channel := r.bytes(int(r.u16()))
+	q := QueryRequest{
+		From: r.f64(),
+		To:   r.f64(),
+	}
+	q.ResolutionS = int(r.u32())
+	if err := r.done(); err != nil {
+		return QueryRequest{}, err
+	}
+	q.NodeID = string(node)
+	q.Channel = string(channel)
+	return q, nil
+}
+
+// Series: node string, channel string, u32 resolution, u32 point count,
+// then per point f64 time/value/min/max and u32 count. Values travel as
+// raw bit patterns, so the decoded SeriesBody is bit-identical to what the
+// JSON path produces (JSON round-trips float64 exactly; NaN becomes null
+// and back).
+
+func (f *binFramer) writeSeries(body SeriesBody) error {
+	f.begin(binKindSeries)
+	if err := f.str(body.NodeID); err != nil {
+		return err
+	}
+	if err := f.str(body.Channel); err != nil {
+		return err
+	}
+	f.u32(uint32(body.ResolutionS))
+	f.u32(uint32(len(body.Points)))
+	for i := range body.Points {
+		p := &body.Points[i]
+		f.f64(p.Time)
+		f.f64(float64(p.Value))
+		f.f64(float64(p.Min))
+		f.f64(float64(p.Max))
+		f.u32(uint32(p.Count))
+	}
+	return f.end()
+}
+
+func (f *binFramer) readSeries(payload []byte) (SeriesBody, error) {
+	r := binReader{b: payload}
+	node := r.bytes(int(r.u16()))
+	channel := r.bytes(int(r.u16()))
+	res := int(r.u32())
+	n := int(r.u32())
+	if n > len(payload)/36 {
+		return SeriesBody{}, fmt.Errorf("cluster: series claims %d points in a %d-byte payload", n, len(payload))
+	}
+	pts := make([]SeriesPoint, 0, n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, SeriesPoint{
+			Time:  r.f64(),
+			Value: NullFloat(r.f64()),
+			Min:   NullFloat(r.f64()),
+			Max:   NullFloat(r.f64()),
+			Count: int(r.u32()),
+		})
+	}
+	if err := r.done(); err != nil {
+		return SeriesBody{}, err
+	}
+	return SeriesBody{
+		NodeID:      string(node),
+		Channel:     string(channel),
+		ResolutionS: res,
+		Points:      pts,
+	}, nil
+}
+
+// Error: u32 length + message bytes.
+
+func (f *binFramer) writeError(msg string) error {
+	f.begin(binKindError)
+	f.u32(uint32(len(msg)))
+	f.wbuf = append(f.wbuf, msg...)
+	return f.end()
+}
+
+func (f *binFramer) readError(payload []byte) (string, error) {
+	r := binReader{b: payload}
+	msg := r.bytes(int(r.u32()))
+	if err := r.done(); err != nil {
+		return "", err
+	}
+	return string(msg), nil
+}
+
+// Hello: node string (the binary layout exists for completeness — the
+// negotiation handshake itself always runs over JSON).
+
+func (f *binFramer) writeHello(h Hello) error {
+	f.begin(binKindHello)
+	if err := f.str(h.NodeID); err != nil {
+		return err
+	}
+	return f.end()
+}
+
+func (f *binFramer) readHello(payload []byte) (Hello, error) {
+	r := binReader{b: payload}
+	node := r.bytes(int(r.u16()))
+	if err := r.done(); err != nil {
+		return Hello{}, err
+	}
+	return Hello{NodeID: string(node)}, nil
+}
+
+// writeJSONEnvelope wraps one JSON envelope in a binKindJSON frame — the
+// transport for kinds without a native binary layout (stats, model).
+func (f *binFramer) writeJSONEnvelope(kind MsgKind, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal %s: %w", kind, err)
+	}
+	env, err := json.Marshal(Envelope{Kind: kind, Body: raw})
+	if err != nil {
+		return err
+	}
+	f.begin(binKindJSON)
+	f.wbuf = append(f.wbuf, env...)
+	return f.end()
+}
+
+// readJSONEnvelope parses a binKindJSON payload.
+func readJSONEnvelope(payload []byte) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return Envelope{}, fmt.Errorf("cluster: bad envelope: %w", err)
+	}
+	return env, nil
+}

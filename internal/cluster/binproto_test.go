@@ -1,0 +1,658 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"net"
+	"testing"
+)
+
+// pipeFramer builds a framer whose writes land in buf (read side unset;
+// tests wire it per use).
+func pipeFramer(buf *bytes.Buffer) *binFramer {
+	return newBinFramer(bufio.NewReader(bytes.NewReader(nil)), bufio.NewWriter(buf), DefaultMaxFrame)
+}
+
+// encodeBinFrame encodes one message through the framer's write methods and
+// returns the complete frame bytes (length prefix included).
+func encodeBinFrame(t testing.TB, write func(f *binFramer) error) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	f := pipeFramer(&buf)
+	if err := write(f); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := f.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeBinPayload dispatches one payload to the kind's decoder, returning
+// false when the kind has no native decoder. On success it returns a
+// re-encode function that must reproduce the frame byte-for-byte.
+func decodeBinPayload(f *binFramer, kind byte, payload []byte) (func(g *binFramer) error, bool, error) {
+	switch kind {
+	case binKindHello:
+		h, err := f.readHello(payload)
+		if err != nil {
+			return nil, true, err
+		}
+		return func(g *binFramer) error { return g.writeHello(h) }, true, nil
+	case binKindSample:
+		smp, err := f.readSample(payload)
+		if err != nil {
+			return nil, true, err
+		}
+		// Copy out of the framer scratch: the re-encode runs after further
+		// framer use in some tests.
+		node, tm := smp.NodeID, smp.Time
+		pmc := append([]float64(nil), smp.PMC...)
+		var measured *float64
+		if smp.Measured != nil {
+			m := *smp.Measured
+			measured = &m
+		}
+		return func(g *binFramer) error { return g.writeSample(node, tm, pmc, measured) }, true, nil
+	case binKindEstimate:
+		est, err := f.readEstimate(payload)
+		if err != nil {
+			return nil, true, err
+		}
+		return func(g *binFramer) error { return g.writeEstimate(&est) }, true, nil
+	case binKindQuery:
+		q, err := f.readQuery(payload)
+		if err != nil {
+			return nil, true, err
+		}
+		return func(g *binFramer) error { return g.writeQuery(q) }, true, nil
+	case binKindSeries:
+		body, err := f.readSeries(payload)
+		if err != nil {
+			return nil, true, err
+		}
+		return func(g *binFramer) error { return g.writeSeries(body) }, true, nil
+	case binKindError:
+		msg, err := f.readError(payload)
+		if err != nil {
+			return nil, true, err
+		}
+		return func(g *binFramer) error { return g.writeError(msg) }, true, nil
+	case binKindRecordBatch:
+		rb, err := f.readRecordBatch(payload)
+		if err != nil {
+			return nil, true, err
+		}
+		node := rb.NodeID
+		samples := make([]BatchSample, len(rb.Samples))
+		for i, s := range rb.Samples {
+			samples[i] = BatchSample{Time: s.Time, PMC: append([]float64(nil), s.PMC...)}
+			if s.Measured != nil {
+				m := *s.Measured
+				samples[i].Measured = &m
+			}
+		}
+		return func(g *binFramer) error { return g.writeRecordBatch(node, samples) }, true, nil
+	case binKindEstimateBatch:
+		ests, err := f.readEstimateBatch(payload)
+		if err != nil {
+			return nil, true, err
+		}
+		return func(g *binFramer) error { return g.writeEstimateBatch(ests) }, true, nil
+	}
+	return nil, false, nil
+}
+
+// FuzzBinaryEnvelopeRoundTrip is the binary codec's round-trip law: for
+// every payload a decoder accepts, re-encoding the decoded message must
+// reproduce the original frame byte-for-byte (the encodings are canonical
+// — decoders reject non-canonical flag bytes rather than normalise them).
+func FuzzBinaryEnvelopeRoundTrip(f *testing.F) {
+	meas := 90.5
+	seeds := [][]byte{
+		encodeBinFrame(f, func(g *binFramer) error { return g.writeHello(Hello{NodeID: "n1"}) }),
+		encodeBinFrame(f, func(g *binFramer) error {
+			return g.writeSample("node-a", 1.5, []float64{1e9, 2e9, math.NaN()}, &meas)
+		}),
+		encodeBinFrame(f, func(g *binFramer) error {
+			return g.writeEstimate(&Estimate{NodeID: "n", Time: 2, PNode: 90, PCPU: 40, PMEM: 12, FromMeasurement: true})
+		}),
+		encodeBinFrame(f, func(g *binFramer) error {
+			return g.writeQuery(QueryRequest{NodeID: "n", Channel: "p_node", From: 0, To: 100, ResolutionS: 10})
+		}),
+		encodeBinFrame(f, func(g *binFramer) error {
+			return g.writeSeries(SeriesBody{Channel: "p_node", ResolutionS: 1, Points: []SeriesPoint{
+				{Time: 1, Value: 90, Min: 90, Max: 90, Count: 1},
+				{Time: 2, Value: NullFloat(math.NaN()), Min: NullFloat(math.Inf(1)), Count: 0},
+			}})
+		}),
+		encodeBinFrame(f, func(g *binFramer) error { return g.writeError("boom") }),
+		encodeBinFrame(f, func(g *binFramer) error {
+			return g.writeRecordBatch("node-b", []BatchSample{
+				{Time: 1, PMC: []float64{1, 2}},
+				{Time: 2, PMC: []float64{3, 4}, Measured: &meas},
+			})
+		}),
+		encodeBinFrame(f, func(g *binFramer) error {
+			return g.writeEstimateBatch([]Estimate{{NodeID: "n", Time: 1, PNode: 90}, {NodeID: "n", Time: 2, Local: true}})
+		}),
+	}
+	for _, frame := range seeds {
+		// Seeds are whole frames; the fuzz input is (kind, payload).
+		f.Add(frame[4], frame[5:])
+	}
+	f.Add(byte(250), []byte{})                     // unknown kind
+	f.Add(binKindSample, []byte{})                 // truncated
+	f.Add(binKindError, []byte{0, 0, 0, 200, 'x'}) // claims more than it has
+
+	f.Fuzz(func(t *testing.T, kind byte, payload []byte) {
+		fr := newBinFramer(bufio.NewReader(bytes.NewReader(nil)), nil, DefaultMaxFrame)
+		reencode, known, err := decodeBinPayload(fr, kind, payload)
+		if !known || err != nil {
+			return
+		}
+		frame := encodeBinFrame(t, reencode)
+		if frame[4] != kind || !bytes.Equal(frame[5:], payload) {
+			t.Fatalf("re-encode of kind %d changed the payload:\n in:  %x\n out: %x", kind, payload, frame[5:])
+		}
+	})
+}
+
+// FuzzCrossCodecSample pins the two codecs to each other: a sample sent
+// through the JSON framing and through the binary framing must decode to
+// bit-identical fields. JSON cannot carry non-finite floats (WriteMsg
+// fails), so the agreement check applies when both paths accept the value;
+// the binary path must round-trip regardless.
+func FuzzCrossCodecSample(f *testing.F) {
+	f.Add("node-1", 1.5, 1e9, 2e9, 3e9, true, 90.5)
+	f.Add("", 0.0, 0.0, 0.0, 0.0, false, 0.0)
+	f.Add("n", math.Inf(1), math.NaN(), -1e308, 5e-324, false, 0.0)
+	f.Add("node-\xff", -3.25, 7.0, 8.0, 9.0, true, math.NaN())
+
+	f.Fuzz(func(t *testing.T, node string, tm, p0, p1, p2 float64, hasMeasured bool, m float64) {
+		if len(node) > math.MaxUint16 {
+			return
+		}
+		pmc := []float64{p0, p1, p2}
+		var measured *float64
+		if hasMeasured {
+			measured = &m
+		}
+
+		// Binary path: must always round-trip bit-exactly.
+		frame := encodeBinFrame(t, func(g *binFramer) error { return g.writeSample(node, tm, pmc, measured) })
+		fr := newBinFramer(bufio.NewReader(bytes.NewReader(frame)), nil, DefaultMaxFrame)
+		kind, payload, err := fr.readFrame()
+		if err != nil || kind != binKindSample {
+			t.Fatalf("binary frame read: kind %d err %v", kind, err)
+		}
+		got, err := fr.readSample(payload)
+		if err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+		checkSample := func(dec Sample, codec string) {
+			if dec.NodeID != node {
+				t.Fatalf("%s node: wrote %q read %q", codec, node, dec.NodeID)
+			}
+			if math.Float64bits(dec.Time) != math.Float64bits(tm) {
+				t.Fatalf("%s time: wrote %x read %x", codec, math.Float64bits(tm), math.Float64bits(dec.Time))
+			}
+			if len(dec.PMC) != len(pmc) {
+				t.Fatalf("%s pmc length: wrote %d read %d", codec, len(pmc), len(dec.PMC))
+			}
+			for i := range pmc {
+				if math.Float64bits(dec.PMC[i]) != math.Float64bits(pmc[i]) {
+					t.Fatalf("%s pmc[%d]: wrote %x read %x", codec, i, math.Float64bits(pmc[i]), math.Float64bits(dec.PMC[i]))
+				}
+			}
+			if (dec.Measured != nil) != hasMeasured {
+				t.Fatalf("%s measured presence: wrote %v read %v", codec, hasMeasured, dec.Measured != nil)
+			}
+			if hasMeasured && math.Float64bits(*dec.Measured) != math.Float64bits(m) {
+				t.Fatalf("%s measured: wrote %x read %x", codec, math.Float64bits(m), math.Float64bits(*dec.Measured))
+			}
+		}
+		checkSample(*got, "binary")
+
+		// JSON path: agree with the binary decode whenever JSON can carry
+		// the values at all (NaN/Inf and invalid-UTF-8 node IDs cannot ride
+		// JSON losslessly).
+		var buf bytes.Buffer
+		smp := Sample{NodeID: node, Time: tm, PMC: pmc, Measured: measured}
+		if err := WriteMsg(&buf, KindSample, smp); err != nil {
+			return
+		}
+		env, err := ReadMsg(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("JSON read after write: %v", err)
+		}
+		var jdec Sample
+		if err := DecodeBody(env, &jdec); err != nil {
+			t.Fatalf("JSON decode: %v", err)
+		}
+		if jdec.NodeID != node {
+			return // JSON coerced invalid UTF-8; codecs legitimately differ
+		}
+		checkSample(jdec, "json")
+	})
+}
+
+// TestCodecNegotiation pins the handshake outcomes: a binary offer against
+// this service lands on binary, a JSON dial stays JSON, and both speak to
+// the same service concurrently.
+func TestCodecNegotiation(t *testing.T) {
+	checkNoLeaks(t)
+	svc := startService(t)
+	bin, err := Dial(svc.Addr(), "node-bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bin.Close()
+	if bin.Codec() != CodecBinary {
+		t.Fatalf("default dial negotiated %q, want binary", bin.Codec())
+	}
+	js, err := DialCodec(svc.Addr(), "node-json", CodecJSON, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer js.Close()
+	if js.Codec() != CodecJSON {
+		t.Fatalf("JSON dial negotiated %q", js.Codec())
+	}
+	st, err := bin.Stats()
+	if err != nil {
+		t.Fatalf("stats over binary: %v", err)
+	}
+	if st.BinConns < 1 {
+		t.Fatalf("service counted %d binary connections, want >= 1", st.BinConns)
+	}
+	if _, err := bin.FetchModel(); err != nil {
+		t.Fatalf("model fetch over binary: %v", err)
+	}
+}
+
+// TestCodecInteropByteIdentical drives two agents — one per codec — with
+// the same deterministic sample stream and requires identical estimates,
+// then queries the same stored series through both connections and
+// requires the JSON renderings to match byte-for-byte. This is the
+// acceptance gate for the binary codec: framing changed, results did not.
+func TestCodecInteropByteIdentical(t *testing.T) {
+	checkNoLeaks(t)
+	svc := startService(t)
+	bin, err := DialCodec(svc.Addr(), "node-bin", CodecBinary, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bin.Close()
+	js, err := DialCodec(svc.Addr(), "node-json", CodecJSON, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer js.Close()
+
+	pmc := benchPMC()
+	for i := 0; i < 40; i++ {
+		tm := float64(i)
+		for j := range pmc {
+			pmc[j] = 1e9 + float64(i*7+j)*1e6
+		}
+		var measured *float64
+		if i%5 == 0 {
+			v := 90 + float64(i)*0.25
+			measured = &v
+		}
+		be, err := bin.Send(tm, pmc, measured)
+		if err != nil {
+			t.Fatalf("binary send %d: %v", i, err)
+		}
+		je, err := js.Send(tm, pmc, measured)
+		if err != nil {
+			t.Fatalf("json send %d: %v", i, err)
+		}
+		// Identical inputs through identical per-node monitors: every field
+		// must agree bit-for-bit across codecs.
+		if math.Float64bits(be.PNode) != math.Float64bits(je.PNode) ||
+			math.Float64bits(be.PCPU) != math.Float64bits(je.PCPU) ||
+			math.Float64bits(be.PMEM) != math.Float64bits(je.PMEM) ||
+			be.FromMeasurement != je.FromMeasurement {
+			t.Fatalf("sample %d: binary estimate %+v != json estimate %+v", i, be, je)
+		}
+	}
+
+	// The same stored series fetched over both codecs must render to the
+	// same JSON bytes — for the node histories and the cluster aggregate,
+	// at raw and rollup resolutions.
+	for _, req := range []QueryRequest{
+		{NodeID: "node-bin", Channel: "p_node", From: 0, To: 100},
+		{NodeID: "node-bin", Channel: "ipmi", From: 0, To: 100},
+		{NodeID: "node-json", Channel: "p_cpu", From: 0, To: 100, ResolutionS: 10},
+		{Channel: "p_node", From: 0, To: 100, ResolutionS: 10},
+	} {
+		bb, err := bin.Query(req)
+		if err != nil {
+			t.Fatalf("binary query %+v: %v", req, err)
+		}
+		jb, err := js.Query(req)
+		if err != nil {
+			t.Fatalf("json query %+v: %v", req, err)
+		}
+		bjson, err := json.Marshal(bb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jjson, err := json.Marshal(jb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bjson, jjson) {
+			t.Fatalf("query %+v not byte-identical across codecs:\n binary: %s\n json:   %s", req, bjson, jjson)
+		}
+		if len(bb.Points) == 0 {
+			t.Fatalf("query %+v returned no points", req)
+		}
+	}
+}
+
+// TestRecordBatch runs the batched ingest path over both codecs: Record
+// coalesces, the flush returns one estimate per sample in order, and the
+// estimates equal what unbatched Sends produce for the same stream.
+func TestRecordBatch(t *testing.T) {
+	checkNoLeaks(t)
+	svc := startService(t)
+	for _, codec := range []string{CodecBinary, CodecJSON} {
+		t.Run(codec, func(t *testing.T) {
+			batched, err := DialCodec(svc.Addr(), "batch-"+codec, codec, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer batched.Close()
+			batched.SetBatching(BatchOptions{MaxSamples: 4})
+			single, err := DialCodec(svc.Addr(), "single-"+codec, codec, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer single.Close()
+
+			pmc := benchPMC()
+			var fromBatch, fromSingle []Estimate
+			for i := 0; i < 10; i++ {
+				tm := float64(i)
+				for j := range pmc {
+					pmc[j] = 1e9 + float64(i*13+j)*1e6
+				}
+				var measured *float64
+				if i%3 == 0 {
+					v := 88 + float64(i)
+					measured = &v
+				}
+				ests, err := batched.Record(tm, pmc, measured)
+				if err != nil {
+					t.Fatalf("record %d: %v", i, err)
+				}
+				if i%4 != 3 && ests != nil {
+					t.Fatalf("record %d flushed early: %d estimates", i, len(ests))
+				}
+				fromBatch = append(fromBatch, ests...)
+				se, err := single.Send(tm, pmc, measured)
+				if err != nil {
+					t.Fatalf("send %d: %v", i, err)
+				}
+				fromSingle = append(fromSingle, se)
+			}
+			tail, err := batched.Flush()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromBatch = append(fromBatch, tail...)
+			if len(fromBatch) != len(fromSingle) {
+				t.Fatalf("batched path returned %d estimates, single path %d", len(fromBatch), len(fromSingle))
+			}
+			for i := range fromBatch {
+				b, s := fromBatch[i], fromSingle[i]
+				if math.Float64bits(b.PNode) != math.Float64bits(s.PNode) ||
+					math.Float64bits(b.PCPU) != math.Float64bits(s.PCPU) ||
+					math.Float64bits(b.PMEM) != math.Float64bits(s.PMEM) ||
+					b.Time != s.Time || b.FromMeasurement != s.FromMeasurement {
+					t.Fatalf("estimate %d: batched %+v != single %+v", i, b, s)
+				}
+			}
+		})
+	}
+	st := svc.Stats()
+	if st.Batches < 4 || st.BatchSamples < 20 {
+		t.Fatalf("batch accounting: %d batches, %d samples", st.Batches, st.BatchSamples)
+	}
+}
+
+// TestResilientBatchDegradedReplay: a batched ResilientAgent whose service
+// dies must serve flushes locally, keep the samples in order in the replay
+// buffer, and deliver the whole backlog in order once a service returns.
+func TestResilientBatchDegradedReplay(t *testing.T) {
+	checkNoLeaks(t)
+	svc := NewService(sharedModel(t))
+	svc.Logf = t.Logf
+	if err := svc.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := svc.Addr()
+	opts := DefaultAgentOptions()
+	opts.DialTimeout = 500 * 1e6 // 500ms
+	opts.RequestTimeout = 500 * 1e6
+	opts.BackoffMin = 1e6 // 1ms
+	opts.BackoffMax = 10e6
+	opts.SendRetries = 1
+	opts.FailThreshold = 1
+	opts.Batch = BatchOptions{MaxSamples: 3}
+	ra, err := DialResilient(addr, "node-batch-ft", opts)
+	if err != nil {
+		svc.Close()
+		t.Fatal(err)
+	}
+	defer ra.Close()
+
+	pmc := benchPMC()
+	record := func(i int) []Estimate {
+		t.Helper()
+		ests, err := ra.Record(float64(i), pmc, nil)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		return ests
+	}
+	var live []Estimate
+	for i := 0; i < 6; i++ {
+		live = append(live, record(i)...)
+	}
+	if len(live) != 6 {
+		t.Fatalf("%d live estimates, want 6", len(live))
+	}
+	for _, e := range live {
+		if e.Local {
+			t.Fatal("live flush served locally while the service was up")
+		}
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var local []Estimate
+	for i := 6; i < 12; i++ {
+		local = append(local, record(i)...)
+	}
+	if len(local) != 6 {
+		t.Fatalf("%d estimates during outage, want 6", len(local))
+	}
+	for _, e := range local {
+		if !e.Local {
+			t.Fatalf("outage estimate not local: %+v", e)
+		}
+	}
+	if ra.Pending() != 6 {
+		t.Fatalf("%d samples pending replay, want 6", ra.Pending())
+	}
+
+	svc2 := NewService(sharedModel(t))
+	svc2.Logf = t.Logf
+	if err := svc2.Listen(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { svc2.Close() })
+	for i := 12; ra.Mode() != ModeConnected || ra.Pending() > 0; i++ {
+		if i > 2000 {
+			t.Fatalf("agent never recovered: mode %v, %d pending", ra.Mode(), ra.Pending())
+		}
+		record(i)
+	}
+	// The recovery loop keeps batching while degraded, so more than the
+	// original 6 samples pass through the buffer; what matters is that the
+	// whole backlog replays and nothing is lost.
+	c := ra.Counters()
+	if c.Replayed < 6 || c.Replayed != c.Buffered || c.Dropped != 0 {
+		t.Fatalf("replay incomplete: %+v", c)
+	}
+}
+
+// TestBinaryCodecZeroAlloc is the allocation-regression guard for the
+// binary record path: one steady-state encode → frame read → decode of a
+// sample must not allocate at all. Everything lives in the framer scratch
+// — the write buffer, the read buffer, the PMC slice, the interned node.
+func TestBinaryCodecZeroAlloc(t *testing.T) {
+	pmc := benchPMC()
+	meas := 90.5
+	var buf bytes.Buffer
+	fw := pipeFramer(&buf)
+	br := bytes.NewReader(nil)
+	rr := bufio.NewReader(br)
+	fr := newBinFramer(rr, nil, DefaultMaxFrame)
+
+	iter := func() {
+		buf.Reset()
+		fw.w.Reset(&buf)
+		if err := fw.writeSample("node-alloc", 42.5, pmc, &meas); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		br.Reset(buf.Bytes())
+		rr.Reset(br)
+		kind, payload, err := fr.readFrame()
+		if err != nil || kind != binKindSample {
+			t.Fatalf("frame: kind %d err %v", kind, err)
+		}
+		smp, err := fr.readSample(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if smp.NodeID != "node-alloc" || len(smp.PMC) != len(pmc) {
+			t.Fatalf("bad decode: %+v", smp)
+		}
+	}
+	iter() // warm the scratch buffers and the intern slot
+	if allocs := testing.AllocsPerRun(200, iter); allocs != 0 {
+		t.Fatalf("binary sample round trip allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkServiceHandleBinary is BenchmarkServiceHandle's binary twin:
+// the full service handler over net.Pipe, negotiated onto the binary
+// codec. Compare with BenchmarkServiceHandle for the codec's win.
+func BenchmarkServiceHandleBinary(b *testing.B) {
+	svc := NewServiceWith(sharedModel(b), ServiceOptions{})
+	svc.Logf = func(string, ...any) {}
+	defer svc.Close()
+
+	client, server := net.Pipe()
+	defer client.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		svc.handle(server)
+	}()
+	r := bufio.NewReader(client)
+	w := bufio.NewWriter(client)
+	// JSON handshake with a binary offer, then the framer takes over.
+	if err := WriteMsg(w, KindHello, Hello{NodeID: "bench-bin", Codecs: []string{CodecBinary}}); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	env, err := ReadMsg(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reply Hello
+	if err := DecodeBody(env, &reply); err != nil {
+		b.Fatal(err)
+	}
+	if reply.Codec != CodecBinary {
+		b.Fatalf("negotiated %q, want binary", reply.Codec)
+	}
+	f := newBinFramer(r, w, DefaultMaxFrame)
+	pmc := benchPMC()
+	send := func(tm float64, measured *float64) Estimate {
+		if err := f.writeSample("bench-bin", tm, pmc, measured); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		kind, payload, err := f.readFrame()
+		if err != nil || kind != binKindEstimate {
+			b.Fatalf("reply kind %d err %v", kind, err)
+		}
+		est, err := f.readEstimate(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return est
+	}
+	seed := 90.0
+	send(0, &seed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send(float64(i+1), nil)
+	}
+	b.StopTimer()
+	client.Close()
+	<-done
+}
+
+// BenchmarkRecordBatch measures batched ingest end to end over loopback
+// TCP at a realistic coalescing factor: 16 samples per frame, binary
+// codec. Per-sample cost divides by the batch size reported in ns/op.
+func BenchmarkRecordBatch(b *testing.B) {
+	svc := startService(b)
+	agent, err := Dial(svc.Addr(), "bench-batch")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer agent.Close()
+	const batchSize = 16
+	agent.SetBatching(BatchOptions{MaxSamples: batchSize})
+	pmc := benchPMC()
+	seed := 90.0
+	if _, err := agent.Send(0, pmc, &seed); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	tm := 1.0
+	for i := 0; i < b.N; i++ {
+		// One op = one full batch: batchSize Records, the last one flushes.
+		for j := 0; j < batchSize; j++ {
+			ests, err := agent.Record(tm, pmc, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if j < batchSize-1 && ests != nil {
+				b.Fatal("early flush")
+			}
+			tm++
+		}
+	}
+}

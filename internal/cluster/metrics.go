@@ -33,6 +33,15 @@ func (s *Service) RegisterMetrics(reg *obs.Registry) {
 	rejected := reg.Counter("highrpm_service_rejected_total", "Connections dropped at accept by the MaxConns cap.")
 	timedOut := reg.Counter("highrpm_service_timed_out_total", "Connections reaped by the read deadline.")
 
+	binConns := reg.Counter("highrpm_service_binary_connections_total", "Connections that negotiated the binary codec.")
+	frames := reg.CounterVec("highrpm_service_frames_total", "Requests handled, by wire codec.", "codec")
+	batches := reg.Counter("highrpm_service_batches_total", "Record batches handled.")
+	batchSamples := reg.Counter("highrpm_service_batch_samples_total", "Samples delivered inside record batches.")
+	batchHist := reg.Histogram("highrpm_service_batch_size",
+		"Samples per record batch (the coalescing factor agents achieve).",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	s.batchHist.Store(&batchHist)
+
 	storeNodes := reg.Gauge("highrpm_store_nodes", "Nodes with recorded history.")
 	storeSeries := reg.Gauge("highrpm_store_series", "Raw series retained (channels x nodes).")
 	storePoints := reg.Gauge("highrpm_store_points", "Raw points currently retained.")
@@ -42,6 +51,9 @@ func (s *Service) RegisterMetrics(reg *obs.Registry) {
 	storeQueries := reg.Counter("highrpm_store_queries_total", "Per-series reads served by the store.")
 	storePointsOut := reg.Counter("highrpm_store_points_returned_total", "Points returned by store reads.")
 	storeEvicted := reg.Counter("highrpm_store_evicted_points_total", "Raw and rollup points dropped by retention.")
+	cacheHits := reg.Counter("highrpm_store_cache_hits_total", "Decoded-block cache hits on sealed-block reads.")
+	cacheMisses := reg.Counter("highrpm_store_cache_misses_total", "Decoded-block cache misses (block decoded and inserted).")
+	cachePoints := reg.Gauge("highrpm_store_cache_points", "Decoded points currently held by the block cache.")
 
 	power := reg.GaugeVec("highrpm_node_power_watts",
 		"Latest restored power per node: component=node is the TRR estimate, cpu/mem the SRR split, node_prime the trend feature, ipmi the last IM reading (NaN between readings).",
@@ -60,6 +72,12 @@ func (s *Service) RegisterMetrics(reg *obs.Registry) {
 		rejected.Set(float64(st.Rejected))
 		timedOut.Set(float64(st.TimedOut))
 
+		binConns.Set(float64(st.BinConns))
+		frames.With("binary").Set(float64(st.BinFrames))
+		frames.With("json").Set(float64(st.JSONFrames))
+		batches.Set(float64(st.Batches))
+		batchSamples.Set(float64(st.BatchSamples))
+
 		storeNodes.Set(float64(st.Store.Nodes))
 		storeSeries.Set(float64(st.Store.Series))
 		storePoints.Set(float64(st.Store.Points))
@@ -69,6 +87,9 @@ func (s *Service) RegisterMetrics(reg *obs.Registry) {
 		storeQueries.Set(float64(st.Store.Queries))
 		storePointsOut.Set(float64(st.Store.PointsReturned))
 		storeEvicted.Set(float64(st.Store.EvictedPoints))
+		cacheHits.Set(float64(st.Store.CacheHits))
+		cacheMisses.Set(float64(st.Store.CacheMisses))
+		cachePoints.Set(float64(st.Store.CachePoints))
 
 		latest := s.LatestEstimates()
 		ids := make([]string, 0, len(latest))

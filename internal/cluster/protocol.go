@@ -42,6 +42,23 @@ const (
 	KindSeries MsgKind = "series"
 	// KindError reports a server-side failure for a request.
 	KindError MsgKind = "error"
+	// KindRecordBatch carries several coalesced seconds of telemetry in one
+	// frame; the service answers with KindEstimateBatch (or one KindError
+	// for the whole batch).
+	KindRecordBatch MsgKind = "record_batch"
+	// KindEstimateBatch answers a KindRecordBatch with one estimate per
+	// accepted sample, in batch order.
+	KindEstimateBatch MsgKind = "estimate_batch"
+)
+
+// Wire codecs an agent can offer in Hello. JSON is the baseline every peer
+// speaks; binary is the length-prefixed binary framing in binproto.go.
+const (
+	// CodecJSON is the length-prefixed JSON framing (the original protocol).
+	CodecJSON = "json"
+	// CodecBinary is the length-prefixed binary framing: same 4-byte length
+	// prefix, then a 1-byte kind and a fixed-layout payload.
+	CodecBinary = "binary"
 )
 
 // Envelope frames every message.
@@ -50,9 +67,18 @@ type Envelope struct {
 	Body json.RawMessage `json:"body,omitempty"`
 }
 
-// Hello registers a compute node.
+// Hello registers a compute node and negotiates the wire codec. The
+// handshake itself is always JSON: an agent offers codecs it speaks in
+// Codecs, the service echoes its pick in Codec, and both switch after the
+// reply. Peers predating the binary codec simply drop the unknown fields —
+// the offer reads as empty, the reply's Codec as "", and both sides keep
+// speaking JSON. No version check, no second round trip.
 type Hello struct {
 	NodeID string `json:"node_id"`
+	// Codecs is the agent's offer, most preferred first (request only).
+	Codecs []string `json:"codecs,omitempty"`
+	// Codec is the service's selection (reply only); "" means JSON.
+	Codec string `json:"codec,omitempty"`
 }
 
 // Sample is one second of telemetry from a compute node agent.
@@ -81,6 +107,30 @@ type Estimate struct {
 	Local bool `json:"local,omitempty"`
 }
 
+// BatchSample is one coalesced second inside a RecordBatch; the node ID
+// lives on the batch, everything else matches Sample.
+type BatchSample struct {
+	Time float64   `json:"time"`
+	PMC  []float64 `json:"pmc"`
+	// Measured carries the second's IPMI reading when one arrived.
+	Measured *float64 `json:"measured,omitempty"`
+}
+
+// RecordBatch carries several seconds of telemetry from one node in a
+// single frame (KindRecordBatch). Samples are in time order; the service
+// processes them in order, so batching changes framing, not semantics.
+type RecordBatch struct {
+	NodeID  string        `json:"node_id"`
+	Samples []BatchSample `json:"samples"`
+}
+
+// EstimateBatch answers a RecordBatch: one estimate per sample, in order.
+// A batch is all-or-nothing — if any sample is rejected the service
+// replies KindError for the whole batch instead.
+type EstimateBatch struct {
+	Estimates []Estimate `json:"estimates"`
+}
+
 // Stats summarises service activity.
 type Stats struct {
 	Nodes     int   `json:"nodes"`
@@ -99,6 +149,16 @@ type Stats struct {
 	// NodeConns maps node ID to its live connection count (connections
 	// that have said Hello); nil when no node is connected.
 	NodeConns map[string]int `json:"node_conns,omitempty"`
+	// BinConns counts connections that negotiated the binary codec
+	// (cumulative); BinFrames/JSONFrames count requests handled per codec,
+	// so operators can see which peers still speak JSON.
+	BinConns   int64 `json:"bin_conns"`
+	BinFrames  int64 `json:"bin_frames"`
+	JSONFrames int64 `json:"json_frames"`
+	// Batches counts KindRecordBatch requests and BatchSamples the samples
+	// they carried (BatchSamples/Batches is the mean coalescing factor).
+	Batches      int64 `json:"batches"`
+	BatchSamples int64 `json:"batch_samples"`
 	// Store summarises the embedded history store (series count,
 	// compressed bytes, compression ratio).
 	Store tsdb.Stats `json:"store"`
@@ -222,7 +282,18 @@ func ReadMsgLimit(r *bufio.Reader, maxFrame int) (Envelope, error) {
 // readFrame reads exactly n bytes, growing the buffer only as data arrives
 // (at most frameChunk ahead of what the peer has sent).
 func readFrame(r io.Reader, n int) ([]byte, error) {
-	buf := make([]byte, 0, min(n, frameChunk))
+	return readFrameInto(r, nil, n)
+}
+
+// readFrameInto reads exactly n bytes into buf (reusing its capacity; the
+// binary framer passes its per-connection scratch so steady-state reads do
+// not allocate). Growth stays chunked, so a peer that claims a huge frame
+// but never sends it costs at most frameChunk beyond what arrived.
+func readFrameInto(r io.Reader, buf []byte, n int) ([]byte, error) {
+	buf = buf[:0]
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, min(n, frameChunk))
+	}
 	for len(buf) < n {
 		take := min(n-len(buf), frameChunk)
 		if cap(buf)-len(buf) < take {

@@ -59,6 +59,12 @@ type AgentOptions struct {
 	BufferLimit int
 	// Seed feeds the jitter RNG, keeping backoff sequences reproducible.
 	Seed int64
+	// Codec is the wire codec preference passed to each dial: "" or
+	// CodecBinary offers the binary framing (falling back to JSON against
+	// older services), CodecJSON pins JSON.
+	Codec string
+	// Batch configures sample coalescing for Record (zero: disabled).
+	Batch BatchOptions
 }
 
 // DefaultAgentOptions returns production defaults for 1 Sa/s telemetry.
@@ -127,6 +133,7 @@ type ResilientAgent struct {
 	model    *core.HighRPM // last fetched snapshot
 	localMon *core.Monitor // per-episode fallback monitor (nil between episodes)
 	buffer   []Sample      // degraded samples awaiting replay, oldest first
+	batch    batcher       // pending Record samples awaiting a flush
 	mode     Mode
 	closed   bool
 
@@ -158,6 +165,9 @@ func DialResilient(addr, nodeID string, opts AgentOptions) (*ResilientAgent, err
 	if opts.BackoffMax < opts.BackoffMin {
 		opts.BackoffMax = opts.BackoffMin
 	}
+	if opts.Codec == "" {
+		opts.Codec = CodecBinary
+	}
 	ra := &ResilientAgent{
 		addr:    addr,
 		nodeID:  nodeID,
@@ -165,6 +175,7 @@ func DialResilient(addr, nodeID string, opts AgentOptions) (*ResilientAgent, err
 		backoff: opts.BackoffMin,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 	}
+	ra.batch.opts = opts.Batch
 	agent, model, err := ra.connect()
 	if err != nil {
 		return nil, err
@@ -179,7 +190,7 @@ func DialResilient(addr, nodeID string, opts AgentOptions) (*ResilientAgent, err
 // the model fetch (models are bigger than samples, so RequestTimeout would
 // be too tight a bound on a slow link).
 func (ra *ResilientAgent) connect() (*Agent, *core.HighRPM, error) {
-	agent, err := DialTimeout(ra.addr, ra.nodeID, ra.opts.DialTimeout)
+	agent, err := DialCodec(ra.addr, ra.nodeID, ra.opts.Codec, ra.opts.DialTimeout)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -248,6 +259,109 @@ func (ra *ResilientAgent) Send(t float64, pmc []float64, measured *float64) (Est
 		ra.dropConn()
 	}
 	return ra.serveLocal(smp)
+}
+
+// SetBatching configures sample coalescing for Record (overriding
+// AgentOptions.Batch); MaxSamples < 2 keeps Record unbatched.
+func (ra *ResilientAgent) SetBatching(o BatchOptions) { ra.batch.opts = o }
+
+// Record queues one second of telemetry for batched delivery, returning
+// the estimates when a flush happened (nil estimates, nil error while the
+// sample is pending). Without batching it behaves like Send. Record copies
+// pmc, so callers may reuse their buffer immediately — unlike Send, which
+// buffers the caller's slice when degraded.
+func (ra *ResilientAgent) Record(t float64, pmc []float64, measured *float64) ([]Estimate, error) {
+	if ra.closed {
+		return nil, ErrAgentClosed
+	}
+	if !ra.batch.opts.enabled() {
+		est, err := ra.Send(t, pmc, measured)
+		if err != nil {
+			return nil, err
+		}
+		return []Estimate{est}, nil
+	}
+	ra.batch.add(t, pmc, measured)
+	if ra.batch.full() || ra.batch.due() {
+		return ra.Flush()
+	}
+	return nil, nil
+}
+
+// Flush delivers the pending batch now. Like Send it absorbs transport
+// failures: when the service is unreachable the batch is served from the
+// local snapshot and its samples join the replay buffer in order, so
+// in-order replay is preserved across degraded episodes. A *ServiceError
+// (the service rejected the batch) drops it and is returned as-is.
+func (ra *ResilientAgent) Flush() ([]Estimate, error) {
+	if ra.closed {
+		return nil, ErrAgentClosed
+	}
+	if ra.batch.n == 0 {
+		return nil, nil
+	}
+	// Degraded fast path: skip the network entirely until a probe is due,
+	// mirroring Send.
+	if !(ra.mode == ModeDegraded && time.Now().Before(ra.nextProbe)) {
+		for attempt := 0; attempt < ra.opts.SendRetries; attempt++ {
+			if !ra.ensureLive() {
+				break
+			}
+			ests, err := ra.sendBatchOnce()
+			if err == nil {
+				ra.onHealthy()
+				ra.counters.Sent += int64(len(ests))
+				ra.batch.reset()
+				return ests, nil
+			}
+			var se *ServiceError
+			if errors.As(err, &se) {
+				ra.onHealthy()
+				ra.batch.reset()
+				return nil, err
+			}
+			ra.counters.SendFailures++
+			ra.failProbe()
+			ra.dropConn()
+		}
+	}
+	return ra.flushLocal()
+}
+
+// sendBatchOnce performs one deadline-bounded batch round trip on the
+// current connection.
+func (ra *ResilientAgent) sendBatchOnce() ([]Estimate, error) {
+	if ra.opts.RequestTimeout > 0 {
+		ra.agent.setDeadline(time.Now().Add(ra.opts.RequestTimeout))
+		defer ra.agent.setDeadline(time.Time{})
+	}
+	return ra.agent.sendBatchSamples(ra.batch.wireSamples())
+}
+
+// flushLocal serves the pending batch from the model snapshot, one sample
+// at a time through serveLocal — each joins the replay buffer in batch
+// order, so the later replay delivers every sample to the service in the
+// exact order it was recorded. PMC slices are copied out of the batcher's
+// reused slots before buffering.
+func (ra *ResilientAgent) flushLocal() ([]Estimate, error) {
+	ests := make([]Estimate, 0, ra.batch.n)
+	for i := 0; i < ra.batch.n; i++ {
+		s := &ra.batch.slots[i]
+		pmc := append([]float64(nil), s.pmc...)
+		var measured *float64
+		if s.hasMeasured {
+			m := s.measured
+			measured = &m
+		}
+		est, err := ra.serveLocal(Sample{NodeID: ra.nodeID, Time: s.t, PMC: pmc, Measured: measured})
+		if err != nil {
+			ra.batch.reset()
+			return ests, err
+		}
+		ests = append(ests, est)
+	}
+	ra.batch.reset()
+	return ests, nil
 }
 
 // ensureLive reports whether a connected, fully-replayed link is ready for
@@ -407,8 +521,9 @@ func (ra *ResilientAgent) Stats() (Stats, error) {
 	return st, nil
 }
 
-// Close terminates the connection. Buffered samples not yet replayed are
-// lost; check Pending first if that matters.
+// Close terminates the connection. Buffered samples not yet replayed and
+// batched samples not yet flushed are lost; check Pending and call Flush
+// first if that matters.
 func (ra *ResilientAgent) Close() error {
 	if ra.closed {
 		return nil

@@ -72,6 +72,18 @@ type Service struct {
 	rejected  atomic.Int64
 	timedOut  atomic.Int64
 
+	// Codec and batching accounting: connections that negotiated binary,
+	// frames handled per codec, and record batches with their sample count.
+	binConns     atomic.Int64
+	binFrames    atomic.Int64
+	jsonFrames   atomic.Int64
+	batches      atomic.Int64
+	batchSamples atomic.Int64
+
+	// batchHist, when set (RegisterMetrics), observes the size of each
+	// record batch — the coalescing factor agents actually achieve.
+	batchHist atomic.Pointer[obs.Histogram]
+
 	// lmu guards latest, the newest estimate per node — what the obs
 	// highrpm_node_power_watts gauges and dashboards read. A dedicated
 	// mutex keeps the per-sample update off the connection-table lock.
@@ -315,6 +327,7 @@ func (s *Service) handle(conn net.Conn) error {
 		if s.opts.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		}
+		s.jsonFrames.Add(1)
 		switch env.Kind {
 		case KindHello:
 			var h Hello
@@ -323,39 +336,52 @@ func (s *Service) handle(conn net.Conn) error {
 			}
 			s.monitorFor(h.NodeID)
 			s.identify(conn, h.NodeID)
-			if err := WriteMsg(w, KindHello, h); err != nil {
+			reply := Hello{NodeID: h.NodeID}
+			for _, c := range h.Codecs {
+				if c == CodecBinary {
+					reply.Codec = CodecBinary
+					break
+				}
+			}
+			if err := WriteMsg(w, KindHello, reply); err != nil {
 				return err
+			}
+			if reply.Codec == CodecBinary {
+				// Handshake settled on binary: flush the JSON reply and hand
+				// the connection to the binary loop for good.
+				if err := w.Flush(); err != nil {
+					return err
+				}
+				return s.handleBinary(conn, newBinFramer(r, w, s.opts.MaxFrame))
 			}
 		case KindSample:
 			var smp Sample
 			if err := DecodeBody(env, &smp); err != nil {
 				return err
 			}
-			s.samples.Add(1)
-			if smp.Measured != nil {
-				s.measured.Add(1)
-			}
-			mon := s.monitorFor(smp.NodeID)
-			// One estimation tick — model inference plus the history
-			// record — is the unit the overhead self-metering prices.
-			tickDone := s.meter.Load().Tick()
-			est, err := mon.Push(smp.PMC, smp.Measured)
+			out, err := s.processSample(smp.NodeID, smp.Time, smp.PMC, smp.Measured)
 			if err != nil {
-				tickDone()
 				if werr := WriteMsg(w, KindError, ErrorBody{Message: err.Error()}); werr != nil {
 					return werr
 				}
 				break
 			}
-			s.estimates.Add(1)
-			s.record(smp, est)
-			tickDone()
-			out := Estimate{
-				NodeID: smp.NodeID, Time: smp.Time,
-				PNode: est.PNode, PCPU: est.PCPU, PMEM: est.PMEM,
-				FromMeasurement: est.FromMeasurement,
-			}
 			if err := WriteMsg(w, KindEstimate, out); err != nil {
+				return err
+			}
+		case KindRecordBatch:
+			var rb RecordBatch
+			if err := DecodeBody(env, &rb); err != nil {
+				return err
+			}
+			ests, err := s.processBatch(&rb, nil)
+			if err != nil {
+				if werr := WriteMsg(w, KindError, ErrorBody{Message: err.Error()}); werr != nil {
+					return werr
+				}
+				break
+			}
+			if err := WriteMsg(w, KindEstimateBatch, EstimateBatch{Estimates: ests}); err != nil {
 				return err
 			}
 		case KindStats:
@@ -405,6 +431,178 @@ func (s *Service) handle(conn net.Conn) error {
 			return err
 		}
 	}
+}
+
+// handleBinary serves one connection after its Hello negotiated the binary
+// codec. The hot kinds (sample, batch, query) decode and reply natively on
+// the framer's scratch; everything else arrives as a JSON envelope inside
+// a binKindJSON frame and is answered the same way.
+func (s *Service) handleBinary(conn net.Conn, f *binFramer) error {
+	s.binConns.Add(1)
+	var ests []Estimate // reused batch-reply scratch
+	for {
+		if s.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+		}
+		kind, payload, err := f.readFrame()
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && !s.isClosed() {
+				s.timedOut.Add(1)
+			}
+			return err
+		}
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
+		s.binFrames.Add(1)
+		switch kind {
+		case binKindSample:
+			smp, err := f.readSample(payload)
+			if err != nil {
+				return err
+			}
+			out, perr := s.processSample(smp.NodeID, smp.Time, smp.PMC, smp.Measured)
+			if perr != nil {
+				if werr := f.writeError(perr.Error()); werr != nil {
+					return werr
+				}
+				break
+			}
+			if err := f.writeEstimate(&out); err != nil {
+				return err
+			}
+		case binKindRecordBatch:
+			rb, err := f.readRecordBatch(payload)
+			if err != nil {
+				return err
+			}
+			ests, err = s.processBatch(rb, ests[:0])
+			if err != nil {
+				if werr := f.writeError(err.Error()); werr != nil {
+					return werr
+				}
+				break
+			}
+			if err := f.writeEstimateBatch(ests); err != nil {
+				return err
+			}
+		case binKindQuery:
+			q, err := f.readQuery(payload)
+			if err != nil {
+				return err
+			}
+			body, qerr := s.answerQuery(q)
+			if qerr != nil {
+				if werr := f.writeError(qerr.Error()); werr != nil {
+					return werr
+				}
+				break
+			}
+			if err := f.writeSeries(body); err != nil {
+				if errors.Is(err, ErrFrameTooLarge) {
+					// Nothing was written yet (the frame is built before the
+					// length prefix goes out); tell the agent to narrow the
+					// window instead of killing the connection.
+					if werr := f.writeError("series reply too large; narrow the query window or coarsen the resolution"); werr != nil {
+						return werr
+					}
+					break
+				}
+				return err
+			}
+		case binKindJSON:
+			env, err := readJSONEnvelope(payload)
+			if err != nil {
+				return err
+			}
+			if err := s.handleEnvelopeBinary(f, env); err != nil {
+				return err
+			}
+		default:
+			if err := f.writeError(fmt.Sprintf("unknown binary kind %d", kind)); err != nil {
+				return err
+			}
+		}
+		if err := f.w.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// handleEnvelopeBinary answers the JSON-wrapped kinds on a binary
+// connection (stats, model, a redundant hello); replies travel wrapped the
+// same way so the agent's envelope reader stays symmetric.
+func (s *Service) handleEnvelopeBinary(f *binFramer, env Envelope) error {
+	switch env.Kind {
+	case KindHello:
+		var h Hello
+		if err := DecodeBody(env, &h); err != nil {
+			return err
+		}
+		s.monitorFor(h.NodeID)
+		return f.writeJSONEnvelope(KindHello, Hello{NodeID: h.NodeID, Codec: CodecBinary})
+	case KindStats:
+		return f.writeJSONEnvelope(KindStats, s.Stats())
+	case KindModel:
+		data, err := core.Marshal(s.model)
+		if err != nil {
+			return f.writeJSONEnvelope(KindError, ErrorBody{Message: err.Error()})
+		}
+		return f.writeJSONEnvelope(KindModel, ModelBody{Data: data})
+	default:
+		return f.writeJSONEnvelope(KindError, ErrorBody{Message: fmt.Sprintf("unknown kind %q", env.Kind)})
+	}
+}
+
+// processSample runs one second of telemetry through the per-node monitor
+// and into the history store — the one path every framing (JSON, binary,
+// batched) funnels into. It borrows pmc only for the call.
+func (s *Service) processSample(nodeID string, tm float64, pmc []float64, measured *float64) (Estimate, error) {
+	s.samples.Add(1)
+	if measured != nil {
+		s.measured.Add(1)
+	}
+	mon := s.monitorFor(nodeID)
+	// One estimation tick — model inference plus the history record — is
+	// the unit the overhead self-metering prices.
+	tickDone := s.meter.Load().Tick()
+	est, err := mon.Push(pmc, measured)
+	if err != nil {
+		tickDone()
+		return Estimate{}, err
+	}
+	s.estimates.Add(1)
+	s.record(Sample{NodeID: nodeID, Time: tm, PMC: pmc, Measured: measured}, est)
+	tickDone()
+	return Estimate{
+		NodeID: nodeID, Time: tm,
+		PNode: est.PNode, PCPU: est.PCPU, PMEM: est.PMEM,
+		FromMeasurement: est.FromMeasurement,
+	}, nil
+}
+
+// processBatch runs a record batch through processSample in order,
+// appending the estimates to dst (reused by the binary loop). A batch is
+// all-or-nothing on the wire: the first rejected sample fails the whole
+// batch and none of the estimates are sent — but the samples before it
+// were already recorded, exactly as if they had been sent individually and
+// the connection then broke.
+func (s *Service) processBatch(rb *RecordBatch, dst []Estimate) ([]Estimate, error) {
+	s.batches.Add(1)
+	s.batchSamples.Add(int64(len(rb.Samples)))
+	if h := s.batchHist.Load(); h != nil {
+		h.Observe(float64(len(rb.Samples)))
+	}
+	for i := range rb.Samples {
+		bs := &rb.Samples[i]
+		est, err := s.processSample(rb.NodeID, bs.Time, bs.PMC, bs.Measured)
+		if err != nil {
+			return dst, fmt.Errorf("batch sample %d (t=%g): %w", i, bs.Time, err)
+		}
+		dst = append(dst, est)
+	}
+	return dst, nil
 }
 
 // record stores one estimate into the history store. An ErrClosed during
@@ -491,15 +689,20 @@ func (s *Service) Stats() Stats {
 	}
 	s.mu.Unlock()
 	return Stats{
-		Nodes:     nodes,
-		Samples:   s.samples.Load(),
-		Estimates: s.estimates.Load(),
-		Measured:  s.measured.Load(),
-		Conns:     conns,
-		PeakConns: peak,
-		Rejected:  s.rejected.Load(),
-		TimedOut:  s.timedOut.Load(),
-		NodeConns: nodeConns,
-		Store:     s.store.Stats(),
+		Nodes:        nodes,
+		Samples:      s.samples.Load(),
+		Estimates:    s.estimates.Load(),
+		Measured:     s.measured.Load(),
+		Conns:        conns,
+		PeakConns:    peak,
+		Rejected:     s.rejected.Load(),
+		TimedOut:     s.timedOut.Load(),
+		NodeConns:    nodeConns,
+		BinConns:     s.binConns.Load(),
+		BinFrames:    s.binFrames.Load(),
+		JSONFrames:   s.jsonFrames.Load(),
+		Batches:      s.batches.Load(),
+		BatchSamples: s.batchSamples.Load(),
+		Store:        s.store.Stats(),
 	}
 }

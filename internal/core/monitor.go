@@ -23,6 +23,8 @@ type Monitor struct {
 	hist []monitorStep // trailing window, most recent last
 	n    int64         // samples seen
 
+	winBuf [][]float64 // reusable DynamicTRR input rows, built lazily
+
 	lastIdx  int64   // sample index of the last IM reading (-1: none yet)
 	lastVal  float64 // its value
 	slope    float64 // watts per step from the last two readings
@@ -91,30 +93,53 @@ func (m *Monitor) Push(pmc []float64, measured *float64) (MonitorEstimate, error
 	}
 	est.PNodePrime = m.trendAt(m.n)
 	est.PCPU, est.PMEM = m.h.SRR.Predict(pmc, est.PNode)
-	m.hist = append(m.hist, monitorStep{pmc: append([]float64(nil), pmc...), prev: prevFeature})
-	if len(m.hist) > m.miss {
-		m.hist = m.hist[1:]
+	if len(m.hist) >= m.miss && m.miss > 0 {
+		// Steady state: rotate the window and recycle the evicted front
+		// slot's pmc buffer, so a long-running monitor stops allocating.
+		front := m.hist[0]
+		copy(m.hist, m.hist[1:])
+		front.pmc = append(front.pmc[:0], pmc...)
+		front.prev = prevFeature
+		m.hist[len(m.hist)-1] = front
+	} else {
+		m.hist = append(m.hist, monitorStep{pmc: append([]float64(nil), pmc...), prev: prevFeature})
+		if len(m.hist) > m.miss {
+			m.hist = m.hist[1:]
+		}
 	}
 	m.n++
 	return est, nil
 }
 
-// window assembles the DynamicTRR input ending at the incoming sample.
+// window assembles the DynamicTRR input ending at the incoming sample into
+// a buffer reused across pushes (PredictSeq copies what it reads, so the
+// rows may be rewritten on the next call). Shorter histories front-pad to
+// the window length with the oldest step.
 func (m *Monitor) window(pmc []float64, prevFeature float64) [][]float64 {
-	steps := append(append([]monitorStep(nil), m.hist...), monitorStep{pmc: pmc, prev: prevFeature})
-	// Front-pad to the window length with the oldest step.
-	for len(steps) < m.miss {
-		steps = append([]monitorStep{steps[0]}, steps...)
+	if m.winBuf == nil {
+		m.winBuf = make([][]float64, m.miss)
+		for i := range m.winBuf {
+			m.winBuf[i] = make([]float64, pmu.NumEvents+1)
+		}
 	}
-	steps = steps[len(steps)-m.miss:]
-	out := make([][]float64, len(steps))
-	for i, st := range steps {
-		f := make([]float64, pmu.NumEvents+1)
-		copy(f, st.pmc)
-		f[pmu.NumEvents] = st.prev
-		out[i] = f
+	fill := func(dst []float64, src []float64, prev float64) {
+		copy(dst, src)
+		dst[pmu.NumEvents] = prev
 	}
-	return out
+	have := len(m.hist) + 1 // history plus the incoming sample
+	drop := 0
+	if have > m.miss {
+		drop = have - m.miss
+	}
+	pad := m.miss - (have - drop)
+	for i, st := range m.hist[drop:] {
+		fill(m.winBuf[pad+i], st.pmc, st.prev)
+	}
+	fill(m.winBuf[m.miss-1], pmc, prevFeature)
+	for i := 0; i < pad; i++ {
+		copy(m.winBuf[i], m.winBuf[pad])
+	}
+	return m.winBuf
 }
 
 // Samples returns how many seconds of telemetry the monitor has processed.

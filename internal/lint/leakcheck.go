@@ -7,17 +7,18 @@ import (
 )
 
 // leakcheck enforces the goroutine-guard test-suite convention introduced
-// with the fault-tolerance work and extended to the observability server:
-// every Test* under internal/cluster/... or internal/obs/... that spawns
-// goroutines — directly, through package helpers, or by starting a
-// service, agent, or HTTP server — must arm the checkNoLeaks
-// goroutine-leak guard so a handler, reconnect loop, or serve goroutine
-// that outlives its test fails the suite.
+// with the fault-tolerance work and since extended to the observability
+// server and the tsdb read path: every Test* under internal/cluster/...,
+// internal/obs/... or internal/tsdb/... that spawns goroutines — directly,
+// through package helpers, by starting a service, agent, or HTTP server,
+// or by driving the store's parallel fan-out — must arm the checkNoLeaks
+// goroutine-leak guard so a handler, reconnect loop, serve goroutine, or
+// stuck query worker that outlives its test fails the suite.
 type leakcheck struct{}
 
 func (leakcheck) Name() string { return "leakcheck" }
 func (leakcheck) Doc() string {
-	return "cluster and obs tests that spawn goroutines or start servers must call checkNoLeaks"
+	return "cluster, obs and tsdb tests that spawn goroutines or start servers must call checkNoLeaks"
 }
 
 // spawnAPINames are cluster/obs entry points known to start background
@@ -33,6 +34,10 @@ var spawnAPINames = map[string]bool{
 var leakcheckedPrefixes = []string{
 	modulePath + "/internal/cluster",
 	modulePath + "/internal/obs",
+	// The tsdb read path fans queries out across per-shard worker
+	// goroutines and hands out pooled decode state; a test that wedges a
+	// worker would leak it silently without the guard.
+	modulePath + "/internal/tsdb",
 }
 
 func leakcheckedPkg(path string) bool {

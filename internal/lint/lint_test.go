@@ -42,6 +42,7 @@ func key(d Diagnostic) string {
 func TestFixtureFiresEveryAnalyzer(t *testing.T) {
 	res := fixture(t)
 	want := []string{
+		"errdrop internal/cluster/codec.go:16",
 		"errdrop internal/cluster/drop.go:8",
 		"leakcheck internal/cluster/svc_test.go:13",
 		"determinism internal/core/core.go:14",
@@ -54,6 +55,7 @@ func TestFixtureFiresEveryAnalyzer(t *testing.T) {
 		"leakcheck internal/obs/obs_test.go:10",
 		"errdrop internal/obs/server.go:32",
 		"errdrop internal/obs/server.go:37",
+		"leakcheck internal/tsdb/store_test.go:10",
 		"layering internal/util/util.go:4",
 	}
 	got := make([]string, 0, len(res.Diagnostics))

@@ -1,0 +1,22 @@
+package cluster
+
+import "bufio"
+
+// framer stands in for the binary codec's buffered frame writer.
+type framer struct {
+	w *bufio.Writer
+}
+
+// Flush drains the buffered frame to the connection.
+func (f *framer) Flush() error { return f.w.Flush() }
+
+// sendBad drops the codec Flush error, losing a short write: errdrop
+// violation.
+func sendBad(f *framer) {
+	f.Flush()
+}
+
+// sendGood propagates the Flush error and must not be flagged.
+func sendGood(f *framer) error {
+	return f.Flush()
+}

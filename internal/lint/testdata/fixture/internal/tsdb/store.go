@@ -1,0 +1,19 @@
+// Package tsdb carries the leakcheck fixture for the store's parallel
+// query fan-out.
+package tsdb
+
+import "sync"
+
+// Store stands in for the time-series store.
+type Store struct{}
+
+// Aggregate fans per-node reads out across worker goroutines, like the
+// real store's parallel query path.
+func (st *Store) Aggregate(nodes int) {
+	var wg sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}

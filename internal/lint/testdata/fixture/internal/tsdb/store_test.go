@@ -1,0 +1,20 @@
+package tsdb
+
+import "testing"
+
+// checkNoLeaks stands in for the real goroutine-leak guard.
+func checkNoLeaks(t testing.TB) { t.Helper() }
+
+// TestAggregateLeaky drives the parallel fan-out without arming the
+// guard: leakcheck violation.
+func TestAggregateLeaky(t *testing.T) {
+	var st Store
+	st.Aggregate(4)
+}
+
+// TestAggregateGuarded arms the guard and must not be flagged.
+func TestAggregateGuarded(t *testing.T) {
+	checkNoLeaks(t)
+	var st Store
+	st.Aggregate(4)
+}

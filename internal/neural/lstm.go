@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sync"
 
 	"highrpm/internal/model"
 )
@@ -15,6 +16,15 @@ type lstmCell struct {
 	wx      *tensor // in × 4H
 	wh      *tensor // H × 4H
 	b       *tensor // 1 × 4H
+
+	// inf caches the weights transposed to [4H][in] / [4H][hid] (row =
+	// gate*H+unit) for the fused inference step. ver is the network
+	// weightsVer the transposes were built at; 0 means never built.
+	inf struct {
+		mu       sync.Mutex
+		ver      int64
+		wxT, whT []float64
+	}
 }
 
 func newLSTMCell(in, hid int, rng interface{ NormFloat64() float64 }) *lstmCell {
@@ -132,6 +142,88 @@ func (l *lstmCell) step(scr cellScratch, t int, x []float64, st cellState) cellS
 		c[j] = g.f[j]*st.c[j] + g.i[j]*g.g[j]
 		g.tc[j] = math.Tanh(c[j])
 		h[j] = g.o[j] * g.tc[j]
+	}
+	return cellState{h: h, c: c}
+}
+
+// inferWeights returns the transposed weight copies for version ver,
+// rebuilding them when training has moved the weights since the last
+// build. The transpose is ~4H·(in+H) copies — trivial next to one window
+// of inference — and is amortized across every prediction at that version.
+func (l *lstmCell) inferWeights(ver int64) (wxT, whT []float64) {
+	l.inf.mu.Lock()
+	defer l.inf.mu.Unlock()
+	if l.inf.ver != ver {
+		H := l.hid
+		if l.inf.wxT == nil {
+			l.inf.wxT = make([]float64, l.in*4*H)
+			l.inf.whT = make([]float64, H*4*H)
+		}
+		for i := 0; i < l.in; i++ {
+			for j := 0; j < 4*H; j++ {
+				l.inf.wxT[j*l.in+i] = l.wx.W[i*4*H+j]
+			}
+		}
+		for i := 0; i < H; i++ {
+			for j := 0; j < 4*H; j++ {
+				l.inf.whT[j*H+i] = l.wh.W[i*4*H+j]
+			}
+		}
+		l.inf.ver = ver
+	}
+	return l.inf.wxT, l.inf.whT
+}
+
+// stepInfer is the prediction-only fast path of step: the four gate
+// pre-activations of each hidden unit accumulate in registers over
+// transposed weight rows, so the 4H-wide z slab and the per-gate recording
+// for backprop disappear. Every accumulator sums the same terms in the
+// same order as step (bias, then x contributions in input order, then h
+// contributions in hidden order), so the produced states are bit-identical
+// — PredictSeq through this path equals PredictSeq through step exactly.
+func (l *lstmCell) stepInfer(scr cellScratch, t int, x []float64, st cellState, ver int64) cellState {
+	s := scr.(*lstmScratch)
+	H := l.hid
+	in := l.in
+	wxT, whT := l.inferWeights(ver)
+	bw := l.b.W
+	hPrev := st.h
+	c, h := s.cs[t+1], s.hs[t+1]
+	for j := 0; j < H; j++ {
+		zi, zf, zg, zo := bw[j], bw[H+j], bw[2*H+j], bw[3*H+j]
+		// Re-slicing each row to len(x)/len(hPrev) lets the compiler prove
+		// i is in range for all four rows and drop the bounds checks (the
+		// rows are in/H long; inputs are never longer in a well-formed net,
+		// and a malformed one panics here just as step would index past wx).
+		rxi := wxT[j*in : (j+1)*in][:len(x)]
+		rxf := wxT[(H+j)*in : (H+j+1)*in][:len(x)]
+		rxg := wxT[(2*H+j)*in : (2*H+j+1)*in][:len(x)]
+		rxo := wxT[(3*H+j)*in : (3*H+j+1)*in][:len(x)]
+		for i, xv := range x {
+			if xv == 0 {
+				continue
+			}
+			zi += xv * rxi[i]
+			zf += xv * rxf[i]
+			zg += xv * rxg[i]
+			zo += xv * rxo[i]
+		}
+		rhi := whT[j*H : (j+1)*H][:len(hPrev)]
+		rhf := whT[(H+j)*H : (H+j+1)*H][:len(hPrev)]
+		rhg := whT[(2*H+j)*H : (2*H+j+1)*H][:len(hPrev)]
+		rho := whT[(3*H+j)*H : (3*H+j+1)*H][:len(hPrev)]
+		for i, hv := range hPrev {
+			if hv == 0 {
+				continue
+			}
+			zi += hv * rhi[i]
+			zf += hv * rhf[i]
+			zg += hv * rhg[i]
+			zo += hv * rho[i]
+		}
+		cj := sigmoid(zf)*st.c[j] + sigmoid(zi)*math.Tanh(zg)
+		c[j] = cj
+		h[j] = sigmoid(zo) * math.Tanh(cj)
 	}
 	return cellState{h: h, c: c}
 }

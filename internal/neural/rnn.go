@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 )
 
 // cell is one recurrent layer's parameters with step/backprop functions.
@@ -73,6 +74,12 @@ type seqExec struct {
 	scr    []cellScratch
 	wy, by *tensor
 
+	// inferVer, when non-nil, marks this executor as prediction-only and
+	// points at the owning network's weights version; layers that provide a
+	// fused inference step (lstmCell.stepInfer) run it instead of the
+	// recording step. Training executors leave it nil.
+	inferVer *atomic.Int64
+
 	xrows   [][]float64 // standardized input per timestep
 	topH    [][]float64 // top-layer output per timestep
 	preds   []float64
@@ -120,6 +127,13 @@ func (e *seqExec) forward(window [][]float64, xs *scalerND) []float64 {
 		x := e.xrows[t][:len(raw)]
 		xs.fwdInto(x, raw)
 		for li, l := range e.layers {
+			if e.inferVer != nil {
+				if lc, ok := l.(*lstmCell); ok {
+					e.states[li] = lc.stepInfer(e.scr[li], t, x, e.states[li], e.inferVer.Load())
+					x = e.states[li].h
+					continue
+				}
+			}
 			e.states[li] = l.step(e.scr[li], t, x, e.states[li])
 			x = e.states[li].h
 		}
@@ -196,6 +210,13 @@ type seqNet struct {
 	// stay race-free without per-call allocation of the whole workspace.
 	predPool sync.Pool
 
+	// weightsVer versions the parameter tensors for the inference fast
+	// path: trainWindows bumps it when an optimisation pass finishes, and
+	// cells rebuild their transposed inference weights when the version
+	// they cached falls behind. It starts at 1 so freshly built (or
+	// freshly decoded) weights are always newer than a cell's zero.
+	weightsVer atomic.Int64
+
 	xScaler scalerND
 	yScaler scaler1d
 	fitted  bool
@@ -213,7 +234,12 @@ func newSeqNet(layers []cell, lr float64, seed int64) *seqNet {
 	}
 	tensors = append(tensors, n.wy, n.by)
 	n.opt = newAdam(lr, tensors...)
-	n.predPool.New = func() any { return newSeqExec(n.layers, n.wy, n.by) }
+	n.weightsVer.Store(1)
+	n.predPool.New = func() any {
+		e := newSeqExec(n.layers, n.wy, n.by)
+		e.inferVer = &n.weightsVer
+		return e
+	}
 	return n
 }
 
@@ -290,6 +316,7 @@ func (n *seqNet) trainWindows(seqs [][][]float64, targets [][]float64, epochs, b
 		}
 	}
 	n.fitted = true
+	n.weightsVer.Add(1)
 	return nil
 }
 

@@ -1,0 +1,166 @@
+package tsdb
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// blockCache is the store-wide LRU of decoded sealed blocks. Sealed blocks
+// are immutable — a block only ever gains points while it is the youngest
+// of its series, and retention evicts whole blocks — so the cache needs
+// exactly one coherence rule: an entry is dropped when retention evicts
+// its block. Open blocks are never cached (they still mutate), which is
+// what makes every cached entry safe to serve without re-validation.
+//
+// Keys are the block epoch: a store-wide counter stamped onto each block
+// at creation, so a (shard, channel, seal-generation) triple never reuses
+// a key even after eviction. The budget is counted in decoded points; one
+// decoded raw point costs 16 B (timestamp + value), a rollup point 40 B.
+type blockCache struct {
+	mu      sync.Mutex
+	cap     int        // decoded-point budget
+	size    int        // decoded points currently held
+	lru     *list.List // of *cacheEntry, most recently used at front
+	entries map[uint64]*list.Element
+
+	epochs atomic.Uint64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	id uint64
+	db *decodedBlock
+}
+
+// decodedBlock is one fully decoded block: parallel timestamps plus
+// k-interleaved values (point p occupies vals[p*k : (p+1)*k]). Once built
+// it is read-only and safe to share across queries without locks.
+type decodedBlock struct {
+	k    int
+	ts   []int64
+	vals []float64
+}
+
+func (db *decodedBlock) points() int { return len(db.ts) }
+
+// emitRange replays the cached points with from ≤ t ≤ to, oldest first.
+// The slice handed to emit aliases the cached array — callers copy, same
+// contract as block.decode.
+func (db *decodedBlock) emitRange(from, to int64, emit func(t int64, vals []float64)) {
+	// Binary-search the first point at or after from; points are ordered.
+	lo, hi := 0, len(db.ts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if db.ts[mid] < from {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for p := lo; p < len(db.ts); p++ {
+		if db.ts[p] > to {
+			return
+		}
+		emit(db.ts[p], db.vals[p*db.k:(p+1)*db.k])
+	}
+}
+
+// newBlockCache sizes a cache for capPoints decoded points.
+func newBlockCache(capPoints int) *blockCache {
+	return &blockCache{
+		cap:     capPoints,
+		lru:     list.New(),
+		entries: map[uint64]*list.Element{},
+	}
+}
+
+// nextEpoch stamps a freshly opened block.
+func (c *blockCache) nextEpoch() uint64 { return c.epochs.Add(1) }
+
+// get returns the decoded form of block id, or nil on a miss.
+func (c *blockCache) get(id uint64) *decodedBlock {
+	c.mu.Lock()
+	el := c.entries[id]
+	if el == nil {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	db := el.Value.(*cacheEntry).db
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return db
+}
+
+// put inserts a decoded block and evicts from the LRU tail until the
+// point budget holds again (the newest entry always stays, so one block
+// larger than the whole budget still caches).
+func (c *blockCache) put(id uint64, db *decodedBlock) {
+	c.mu.Lock()
+	if _, ok := c.entries[id]; ok {
+		c.mu.Unlock()
+		return
+	}
+	c.entries[id] = c.lru.PushFront(&cacheEntry{id: id, db: db})
+	c.size += db.points()
+	for c.size > c.cap && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		ent := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		delete(c.entries, ent.id)
+		c.size -= ent.db.points()
+	}
+	c.mu.Unlock()
+}
+
+// invalidate drops one block's entry; retention calls it when the block
+// leaves its series, so the cache never outlives the data it mirrors.
+func (c *blockCache) invalidate(id uint64) {
+	c.mu.Lock()
+	if el := c.entries[id]; el != nil {
+		c.size -= el.Value.(*cacheEntry).db.points()
+		c.lru.Remove(el)
+		delete(c.entries, id)
+	}
+	c.mu.Unlock()
+}
+
+// purge empties the cache (benchmarks use it to measure the cold path).
+func (c *blockCache) purge() {
+	c.mu.Lock()
+	c.lru.Init()
+	c.entries = map[uint64]*list.Element{}
+	c.size = 0
+	c.mu.Unlock()
+}
+
+// stats snapshots hit/miss counters and the decoded points held.
+func (c *blockCache) stats() (hits, misses int64, points int) {
+	hits = c.hits.Load()
+	misses = c.misses.Load()
+	c.mu.Lock()
+	points = c.size
+	c.mu.Unlock()
+	return hits, misses, points
+}
+
+// decodeFull decodes a whole block into its cacheable form.
+func decodeFull(b *block) (*decodedBlock, error) {
+	db := &decodedBlock{
+		k:    b.k,
+		ts:   make([]int64, 0, b.n),
+		vals: make([]float64, 0, b.n*b.k),
+	}
+	err := b.decode(func(t int64, vals []float64) bool {
+		db.ts = append(db.ts, t)
+		db.vals = append(db.vals, vals...)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}

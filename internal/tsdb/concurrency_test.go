@@ -13,6 +13,7 @@ import (
 // rollup queries, aggregates and stats over the same store. Run under
 // `go test -race ./internal/tsdb` (wired into scripts/verify.sh).
 func TestConcurrentIngestAndQuery(t *testing.T) {
+	checkNoLeaks(t)
 	const (
 		writers = 8
 		readers = 4

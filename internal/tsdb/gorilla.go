@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	stdbits "math/bits"
+	"sync"
 )
 
 // bstream is an append-only bit stream.
@@ -82,6 +83,11 @@ type block struct {
 	bs bstream
 	k  int
 	n  int
+
+	// id is the block's store-wide epoch, assigned by the owning series
+	// when a decoded-block cache is attached. A (shard, channel, seal
+	// epoch) triple never repeats, so the id alone is a sound cache key.
+	id uint64
 
 	first, last int64 // timestamp range, valid when n > 0
 
@@ -177,18 +183,61 @@ func (b *block) writeValue(i int, bits uint64) {
 	b.bs.writeBits(xor>>trail, sig)
 }
 
+// decodeState is the scratch one block scan needs: the value vector handed
+// to emit plus the per-chain XOR predecessors and zero windows. States are
+// pooled so the query hot path does not allocate four slices per block.
+type decodeState struct {
+	vals     []float64
+	cur      []uint64
+	leading  []uint8
+	trailing []uint8
+}
+
+var decodeStatePool = sync.Pool{New: func() any { return &decodeState{} }}
+
+// reset sizes the scratch for k value chains and clears the decoder state
+// a previous use may have left behind.
+func (st *decodeState) reset(k int) {
+	if cap(st.vals) < k {
+		st.vals = make([]float64, k)
+		st.cur = make([]uint64, k)
+		st.leading = make([]uint8, k)
+		st.trailing = make([]uint8, k)
+	}
+	st.vals = st.vals[:k]
+	st.cur = st.cur[:k]
+	st.leading = st.leading[:k]
+	st.trailing = st.trailing[:k]
+	for i := 0; i < k; i++ {
+		st.cur[i] = 0
+		st.leading[i] = 0
+		st.trailing[i] = 0
+	}
+}
+
 // decode replays the block in append order. emit returning false stops the
 // scan early (points are time-ordered, so a range query can cut off once
 // past its upper bound). vals is reused between calls — copy to retain.
+// The scratch comes from a pool, so a steady-state decode allocates
+// nothing.
 func (b *block) decode(emit func(t int64, vals []float64) bool) error {
+	st := decodeStatePool.Get().(*decodeState)
+	err := b.decodeWith(st, emit)
+	decodeStatePool.Put(st)
+	return err
+}
+
+// decodeWith replays the block using caller-provided scratch.
+func (b *block) decodeWith(st *decodeState, emit func(t int64, vals []float64) bool) error {
 	if b.n == 0 {
 		return nil
 	}
+	st.reset(b.k)
 	r := bitReader{b: b.bs.b}
-	vals := make([]float64, b.k)
-	cur := make([]uint64, b.k)
-	leading := make([]uint8, b.k)
-	trailing := make([]uint8, b.k)
+	vals := st.vals
+	cur := st.cur
+	leading := st.leading
+	trailing := st.trailing
 
 	ts, err := r.readBits(64)
 	if err != nil {

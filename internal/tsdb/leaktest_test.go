@@ -1,0 +1,35 @@
+package tsdb
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// checkNoLeaks arms a goroutine-leak assertion for the calling test,
+// mirroring the internal/cluster convention (and enforced by the same
+// leakcheck analyzer): at cleanup time the goroutine count must return to
+// at most what it was when the test started. The store's parallel query
+// fan-out joins its workers before returning, so any surplus goroutine at
+// cleanup is a wedged worker or a test-spawned reader that never exited.
+func checkNoLeaks(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, n, buf)
+	})
+}

@@ -3,7 +3,10 @@ package tsdb
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Point is one decoded sample or rollup bucket. At Raw resolution Value is
@@ -66,8 +69,12 @@ func (st *Store) Query(node string, ch Channel, from, to float64, res Resolution
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	cs := sh.chans[idx]
-	var pts []Point
 	if res == Raw {
+		// sizeHint counts the overlapping blocks' points without decoding
+		// anything, so the result slice is allocated exactly once — on a
+		// cache hit that single make is the query's only per-point
+		// allocation.
+		pts := make([]Point, 0, cs.raw.sizeHint(fromMs, toMs))
 		err = cs.raw.query(fromMs, toMs, func(t int64, vals []float64) {
 			v := vals[0]
 			pts = append(pts, Point{Time: float64(t) / 1000, Value: v, Min: v, Max: v, Count: 1})
@@ -76,6 +83,7 @@ func (st *Store) Query(node string, ch Channel, from, to float64, res Resolution
 		return pts, err
 	}
 	ru := cs.rollupFor(res)
+	pts := make([]Point, 0, ru.ser.sizeHint(fromMs, toMs)+1)
 	err = ru.ser.query(fromMs, toMs, func(t int64, vals []float64) {
 		pts = append(pts, Point{
 			Time:  float64(t) / 1000,
@@ -150,13 +158,46 @@ func (st *Store) Aggregate(ch Channel, from, to float64, res Resolution) ([]Poin
 		count         int
 		nodes         int
 	}
-	acc := map[int64]*agg{}
-	for _, node := range st.Nodes() {
-		pts, err := st.Query(node, ch, from, to, res)
-		if err != nil {
-			return nil, err
+	// Fan the per-node reads out across shards (each holds its own lock, so
+	// the decodes genuinely run in parallel), then merge serially in sorted
+	// node order. Floating-point addition is not associative, so the serial
+	// merge is what keeps Aggregate bit-identical to the old single-threaded
+	// walk regardless of which worker finishes first.
+	nodes := st.Nodes()
+	results := make([][]Point, len(nodes))
+	errs := make([]error, len(nodes))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(nodes) {
+						return
+					}
+					results[i], errs[i] = st.Query(nodes[i], ch, from, to, res)
+				}
+			}()
 		}
-		for _, p := range pts {
+		wg.Wait()
+	} else {
+		for i, node := range nodes {
+			results[i], errs[i] = st.Query(node, ch, from, to, res)
+		}
+	}
+	acc := map[int64]*agg{}
+	for i := range nodes {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		for _, p := range results[i] {
 			key := int64(math.Round(p.Time * 1000))
 			a := acc[key]
 			if a == nil {
@@ -215,6 +256,12 @@ type Stats struct {
 	Queries        int64 `json:"queries"`
 	PointsReturned int64 `json:"points_returned"`
 	EvictedPoints  int64 `json:"evicted_points"`
+	// CacheHits/CacheMisses count sealed-block lookups in the decoded-block
+	// cache and CachePoints the decoded points it currently holds; all zero
+	// when the cache is disabled (Options.CachePoints < 0).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CachePoints int64 `json:"cache_points"`
 }
 
 // Stats walks every shard; it takes each shard lock briefly.
@@ -232,6 +279,10 @@ func (st *Store) Stats() Stats {
 	out.Queries = st.queries.Load()
 	out.PointsReturned = st.pointsOut.Load()
 	out.EvictedPoints = st.evicted.Load()
+	if st.cache != nil {
+		hits, misses, points := st.cache.stats()
+		out.CacheHits, out.CacheMisses, out.CachePoints = hits, misses, int64(points)
+	}
 	for _, sh := range shards {
 		sh.mu.Lock()
 		for _, cs := range sh.chans {

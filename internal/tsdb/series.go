@@ -21,6 +21,10 @@ type series struct {
 	// the owning store can report them (Stats.EvictedPoints). It is
 	// shared store-wide; bumps happen under the shard lock.
 	evicted *atomic.Int64
+	// cache, when set, is the store-wide decoded-block cache. Sealed
+	// blocks are read through it; the open block never is, and retention
+	// eviction invalidates the evicted block's entry.
+	cache *blockCache
 }
 
 func newSeries(k, blockPoints, maxPoints int) *series {
@@ -29,7 +33,11 @@ func newSeries(k, blockPoints, maxPoints int) *series {
 
 func (s *series) append(t int64, vals []float64) {
 	if len(s.blocks) == 0 || s.blocks[len(s.blocks)-1].n >= s.blockPoints {
-		s.blocks = append(s.blocks, newBlock(s.k))
+		blk := newBlock(s.k)
+		if s.cache != nil {
+			blk.id = s.cache.nextEpoch()
+		}
+		s.blocks = append(s.blocks, blk)
 	}
 	s.blocks[len(s.blocks)-1].append(t, vals)
 	s.points++
@@ -40,15 +48,34 @@ func (s *series) append(t int64, vals []float64) {
 		if s.evicted != nil {
 			s.evicted.Add(int64(s.blocks[0].n))
 		}
+		if s.cache != nil {
+			s.cache.invalidate(s.blocks[0].id)
+		}
 		s.blocks[0] = nil
 		s.blocks = s.blocks[1:]
 	}
 }
 
 // query emits every retained point with from ≤ t ≤ to, oldest first.
+// Sealed blocks go through the decoded-block cache when one is attached;
+// the open block (still mutating) always decodes directly with pooled
+// scratch.
 func (s *series) query(from, to int64, emit func(t int64, vals []float64)) error {
-	for _, blk := range s.blocks {
+	for i, blk := range s.blocks {
 		if blk.n == 0 || blk.last < from || blk.first > to {
+			continue
+		}
+		sealed := i < len(s.blocks)-1 || blk.n >= s.blockPoints
+		if sealed && s.cache != nil {
+			db := s.cache.get(blk.id)
+			if db == nil {
+				var err error
+				if db, err = decodeFull(blk); err != nil {
+					return err
+				}
+				s.cache.put(blk.id, db)
+			}
+			db.emitRange(from, to, emit)
 			continue
 		}
 		err := blk.decode(func(t int64, vals []float64) bool {
@@ -65,6 +92,20 @@ func (s *series) query(from, to int64, emit func(t int64, vals []float64)) error
 		}
 	}
 	return nil
+}
+
+// sizeHint upper-bounds how many points query(from, to) can emit without
+// decoding anything: the point counts of the overlapping blocks. Callers
+// use it to allocate result slices exactly once.
+func (s *series) sizeHint(from, to int64) int {
+	n := 0
+	for _, blk := range s.blocks {
+		if blk.n == 0 || blk.last < from || blk.first > to {
+			continue
+		}
+		n += blk.n
+	}
+	return n
 }
 
 func (s *series) bytes() int {

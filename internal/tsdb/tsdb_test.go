@@ -142,6 +142,7 @@ func TestStoreQueryValidation(t *testing.T) {
 }
 
 func TestStoreAggregate(t *testing.T) {
+	checkNoLeaks(t)
 	st := New(Options{})
 	for i := 0; i < 30; i++ {
 		if err := st.Ingest("a", float64(i), Sample{PNode: 100, PCPU: 70, PMEM: 30, PNodePrime: 100, IPMI: math.NaN()}); err != nil {

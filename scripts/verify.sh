@@ -10,10 +10,11 @@
 # and HTTP exposition server, the parallel training engine in
 # neural/tree/experiments, and the attribution ledger) so
 # locking regressions surface immediately. It then fuzzes the
-# wire-protocol decoders briefly, and finishes with one pass over the
-# PR 3 training benchmarks (BENCH_pr3.json) and the PR 4 cluster
-# benchmarks (BENCH_pr4.json), both emitted through
-# scripts/bench_json.awk.
+# wire-protocol decoders briefly (JSON envelope, binary framing, and the
+# cross-codec agreement law), and finishes with one pass over the
+# PR 3 training benchmarks (BENCH_pr3.json), the PR 4 cluster
+# benchmarks (BENCH_pr4.json), and the PR 8 serving hot-path benchmarks
+# (BENCH_pr8.json), all emitted through scripts/bench_json.awk.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -39,6 +40,8 @@ go test -race ./internal/neural ./internal/tree ./internal/experiments/... ./int
 echo "== fuzz wire protocol (10s per target)"
 go test -run '^$' -fuzz '^FuzzReadEnvelope$' -fuzztime=10s ./internal/cluster
 go test -run '^$' -fuzz '^FuzzEnvelopeRoundTrip$' -fuzztime=10s ./internal/cluster
+go test -run '^$' -fuzz '^FuzzBinaryEnvelopeRoundTrip$' -fuzztime=10s ./internal/cluster
+go test -run '^$' -fuzz '^FuzzCrossCodecSample$' -fuzztime=10s ./internal/cluster
 echo "== training benchmarks (1 iteration each)"
 bench_out="$(go test -run '^$' -bench 'BenchmarkLSTMFit|BenchmarkFineTuneLatency' -benchtime=1x -benchmem ./internal/neural)"
 echo "$bench_out"
@@ -47,8 +50,15 @@ echo "$tree_out"
 printf '%s\n%s\n' "$bench_out" "$tree_out" | awk -f scripts/bench_json.awk > BENCH_pr3.json
 echo "wrote BENCH_pr3.json"
 echo "== cluster benchmarks"
-cluster_out="$(go test -run '^$' -bench 'BenchmarkAgentSendLoopback|BenchmarkServiceHandle' -benchtime=1s -benchmem ./internal/cluster)"
+cluster_out="$(go test -run '^$' -bench 'BenchmarkAgentSendLoopback$|BenchmarkServiceHandle$' -benchtime=1s -benchmem ./internal/cluster)"
 echo "$cluster_out"
 printf '%s\n' "$cluster_out" | awk -f scripts/bench_json.awk > BENCH_pr4.json
 echo "wrote BENCH_pr4.json"
+echo "== serving hot-path benchmarks (binary codec, batching, block cache)"
+hot_out="$(go test -run '^$' -bench 'BenchmarkServiceHandleBinary$|BenchmarkRecordBatch$' -benchtime=1s -benchmem ./internal/cluster)"
+echo "$hot_out"
+cache_out="$(go test -run '^$' -bench 'BenchmarkQueryCached' -benchtime=1s -benchmem ./internal/tsdb)"
+echo "$cache_out"
+printf '%s\n%s\n' "$hot_out" "$cache_out" | awk -f scripts/bench_json.awk > BENCH_pr8.json
+echo "wrote BENCH_pr8.json"
 echo "verify: OK"
