@@ -275,6 +275,41 @@ func BenchmarkStoreIngest(b *testing.B) {
 	b.ReportMetric(st.CompressionRatio, "x-compression")
 }
 
+// BenchmarkStoreIngestWAL is BenchmarkStoreIngest on a durable store with
+// the default batch fsync policy: the delta between the two is the price
+// of write-ahead logging every sample (the acceptance bar is <2x).
+func BenchmarkStoreIngestWAL(b *testing.B) {
+	opts := highrpm.DefaultStoreOptions()
+	opts.Dir = b.TempDir()
+	opts.Fsync = highrpm.FsyncBatch
+	opts.SnapshotEvery = -1
+	store, _, err := highrpm.OpenStore(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		if err := store.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	r := rand.New(rand.NewSource(1))
+	var prev highrpm.StorePoint
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := storeWorkload(r, i, &prev)
+		err := store.Ingest("node-00", float64(i), highrpm.StoreSample{
+			PNode: w.PNode, PCPU: w.PCPU, PMEM: w.PMEM, PNodePrime: w.PNodePrime, IPMI: w.IPMI,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := store.Stats()
+	b.ReportMetric(float64(st.WALBytes)/float64(b.N), "walB/sample")
+}
+
 // BenchmarkStoreQuery measures decoding a 60 s raw window and a 10 s
 // rollup window out of an hour of stored history.
 func BenchmarkStoreQuery(b *testing.B) {

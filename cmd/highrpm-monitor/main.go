@@ -9,6 +9,7 @@
 //	highrpm-monitor [-model highrpm-model.json] [-nodes 2] [-bench HPCC/FFT]
 //	                [-duration 60] [-miss 10] [-read-timeout 5m] [-max-conns 0]
 //	                [-resilient] [-codec binary] [-batch 8] [-batch-interval 2s]
+//	                [-data-dir ./highrpm-data] [-fsync batch] [-snapshot-every 65536]
 //	                [-http 127.0.0.1:9090] [-pprof] [-grace 2s]
 //
 // -help groups the knobs by subsystem (simulation, service hardening,
@@ -25,6 +26,13 @@
 // the original protocol), and -batch/-batch-interval coalesce samples
 // into KindRecordBatch frames, amortizing one round trip over many
 // samples without changing any estimate.
+//
+// -data-dir makes the history store durable: every estimate is written to
+// a CRC-checked write-ahead log before it lands in memory, the log is
+// periodically compacted into snapshots (-snapshot-every), and a restart
+// on the same directory replays both. -fsync picks the WAL sync policy:
+// batch (default, background flusher; a crash loses at most one flush
+// interval), always (fsync per sample), or never (OS page cache only).
 //
 // -http starts the observability endpoint on the given address: /metrics
 // in Prometheus text format (per-node power gauges, service and store
@@ -65,6 +73,10 @@ func main() {
 		batch         = flag.Int("batch", 1, "coalesce this many samples per RecordBatch frame (<2: one frame per sample)")
 		batchInterval = flag.Duration("batch-interval", 0, "flush a partial batch once its oldest sample has waited this long (0: size-only)")
 
+		dataDir   = flag.String("data-dir", "", "durable store directory: WAL + snapshots, recovered on start (empty: in-memory history)")
+		fsync     = flag.String("fsync", "batch", "WAL fsync policy: batch, always or never (with -data-dir)")
+		snapEvery = flag.Int("snapshot-every", 0, "write a snapshot every N ingests (0: library default, <0: disabled; with -data-dir)")
+
 		httpAddr  = flag.String("http", "", "observability HTTP address, e.g. 127.0.0.1:9090 (empty: disabled)")
 		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof on the observability endpoint")
 		grace     = flag.Duration("grace", 2*time.Second, "graceful-shutdown drain for the service and HTTP endpoint")
@@ -81,16 +93,44 @@ func main() {
 		fatal(err)
 	}
 
-	svc := highrpm.NewServiceWith(model, highrpm.ServiceOptions{
+	svcOpts := highrpm.ServiceOptions{
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 		MaxFrame:     *maxFrame,
 		MaxConns:     *maxConns,
-	})
+	}
+	storeOpts := highrpm.DefaultStoreOptions()
 	if *retain > 0 {
-		opts := highrpm.DefaultStoreOptions()
-		opts.RetainRaw, opts.Retain10s, opts.Retain60s = *retain, *retain, *retain
-		svc.SetStore(highrpm.NewStore(opts))
+		storeOpts.RetainRaw, storeOpts.Retain10s, storeOpts.Retain60s = *retain, *retain, *retain
+	}
+	var svc *highrpm.Service
+	if *dataDir != "" {
+		policy, err := highrpm.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fatal(err)
+		}
+		storeOpts.Dir = *dataDir
+		storeOpts.Fsync = policy
+		storeOpts.SnapshotEvery = *snapEvery
+		var rec *highrpm.StoreRecovery
+		svc, rec, err = highrpm.NewDurableService(model, svcOpts, storeOpts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("durable history in %s (fsync=%s): recovered %d WAL records past seq %d",
+			*dataDir, policy, rec.Replayed, rec.SnapshotSeq)
+		if rec.TornTail {
+			fmt.Print(", torn tail truncated")
+		}
+		for _, d := range rec.Damage {
+			fmt.Printf(", damage: %s", d)
+		}
+		fmt.Println()
+	} else {
+		svc = highrpm.NewServiceWith(model, svcOpts)
+		if *retain > 0 {
+			svc.SetStore(highrpm.NewStore(storeOpts))
+		}
 	}
 	if err := svc.Listen("127.0.0.1:0"); err != nil {
 		fatal(err)
@@ -277,6 +317,7 @@ var flagGroups = []struct {
 	{"Simulation", []string{"model", "nodes", "bench", "duration", "miss", "retain", "seed", "quiet"}},
 	{"Service hardening", []string{"read-timeout", "write-timeout", "max-frame", "max-conns"}},
 	{"Agent & wire protocol", []string{"resilient", "codec", "batch", "batch-interval"}},
+	{"Durability", []string{"data-dir", "fsync", "snapshot-every"}},
 	{"Observability & shutdown", []string{"http", "pprof", "grace"}},
 }
 

@@ -330,6 +330,40 @@ func DefaultStoreOptions() StoreOptions { return tsdb.DefaultOptions() }
 // StoreChannels lists the stored channels in ingest order.
 func StoreChannels() []StoreChannel { return tsdb.Channels() }
 
+// Durability: a Store opened with a data directory writes every ingest to
+// a CRC-checked write-ahead log and periodically compacts the log into a
+// full-state snapshot; OpenStore replays both on startup.
+type (
+	// FsyncPolicy selects when the WAL is fsynced (batch/always/never).
+	FsyncPolicy = tsdb.FsyncPolicy
+	// StoreRecovery reports what OpenStore restored from disk and any
+	// corruption it tolerated along the way.
+	StoreRecovery = tsdb.Recovery
+)
+
+// The three WAL fsync policies.
+const (
+	FsyncBatch  = tsdb.FsyncBatch
+	FsyncAlways = tsdb.FsyncAlways
+	FsyncNever  = tsdb.FsyncNever
+)
+
+// OpenStore opens (or creates) a durable store rooted at opts.Dir,
+// replaying the newest valid snapshot plus the WAL tail. Data sealed by
+// an fsync is never lost; with the default batch policy a crash loses at
+// most one flush interval of samples.
+func OpenStore(opts StoreOptions) (*Store, *StoreRecovery, error) { return tsdb.Open(opts) }
+
+// ParseFsyncPolicy parses "batch", "always" or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return tsdb.ParseFsyncPolicy(s) }
+
+// NewDurableService wraps a trained model with a durable history store
+// rooted at storeOpts.Dir; Shutdown drains the WAL so a graceful stop
+// loses nothing.
+func NewDurableService(m *Model, opts ServiceOptions, storeOpts StoreOptions) (*Service, *StoreRecovery, error) {
+	return cluster.NewDurableService(m, opts, storeOpts)
+}
+
 // Observability types: the embeddable metric registry and HTTP exposition
 // server (see examples/observability). A Service exports itself with
 // Service.RegisterMetrics; ResilientAgent activity is published through

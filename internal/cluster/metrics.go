@@ -55,6 +55,13 @@ func (s *Service) RegisterMetrics(reg *obs.Registry) {
 	cacheMisses := reg.Counter("highrpm_store_cache_misses_total", "Decoded-block cache misses (block decoded and inserted).")
 	cachePoints := reg.Gauge("highrpm_store_cache_points", "Decoded points currently held by the block cache.")
 
+	walBytes := reg.Counter("highrpm_store_wal_bytes_total", "Bytes appended to the write-ahead log since open (0 on in-memory stores).")
+	walFsyncs := reg.Counter("highrpm_store_wal_fsyncs_total", "fsync calls issued by the write-ahead log.")
+	walRecords := reg.Counter("highrpm_store_wal_records_total", "Records appended to the write-ahead log since open.")
+	walReplayed := reg.Gauge("highrpm_store_wal_replayed_records", "WAL records replayed into the store at startup recovery.")
+	snapshots := reg.Counter("highrpm_store_snapshots_total", "Snapshots written since open.")
+	snapshotAge := reg.Gauge("highrpm_store_snapshot_age_seconds", "Seconds since the newest snapshot was written (-1 when none exists).")
+
 	power := reg.GaugeVec("highrpm_node_power_watts",
 		"Latest restored power per node: component=node is the TRR estimate, cpu/mem the SRR split, node_prime the trend feature, ipmi the last IM reading (NaN between readings).",
 		"node", "component")
@@ -90,6 +97,13 @@ func (s *Service) RegisterMetrics(reg *obs.Registry) {
 		cacheHits.Set(float64(st.Store.CacheHits))
 		cacheMisses.Set(float64(st.Store.CacheMisses))
 		cachePoints.Set(float64(st.Store.CachePoints))
+
+		walBytes.Set(float64(st.Store.WALBytes))
+		walFsyncs.Set(float64(st.Store.WALFsyncs))
+		walRecords.Set(float64(st.Store.WALRecords))
+		walReplayed.Set(float64(st.Store.ReplayedRecords))
+		snapshots.Set(float64(st.Store.Snapshots))
+		snapshotAge.Set(st.Store.SnapshotAgeSeconds)
 
 		latest := s.LatestEstimates()
 		ids := make([]string, 0, len(latest))

@@ -120,6 +120,23 @@ func NewServiceWith(model *core.HighRPM, opts ServiceOptions) *Service {
 	}
 }
 
+// NewDurableService wraps a trained model with a durable history store:
+// storeOpts.Dir names the data directory and the store is opened through
+// tsdb.Open, replaying any snapshot and WAL left by a previous run. The
+// returned Recovery reports what was restored (and any corruption
+// tolerated). Close and Shutdown drain the WAL — the store's Close
+// flushes and fsyncs the live segment — so a graceful stop loses
+// nothing and a crash loses at most one flush interval.
+func NewDurableService(model *core.HighRPM, opts ServiceOptions, storeOpts tsdb.Options) (*Service, *tsdb.Recovery, error) {
+	st, rec, err := tsdb.Open(storeOpts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: open durable store: %w", err)
+	}
+	s := NewServiceWith(model, opts)
+	s.store = st
+	return s, rec, nil
+}
+
 // SetStore replaces the history store. Call before Listen; the previous
 // store is discarded.
 func (s *Service) SetStore(st *tsdb.Store) { s.store = st }

@@ -184,11 +184,13 @@ type errdrop struct{}
 
 func (errdrop) Name() string { return "errdrop" }
 func (errdrop) Doc() string {
-	return "forbid silently discarding the error returned by Close/Flush/Write/Shutdown in non-test code"
+	return "forbid silently discarding the error returned by Close/Flush/Write/Sync/Shutdown in non-test code"
 }
 
 var errdropNames = map[string]bool{
-	"Close": true, "Flush": true, "Write": true, "Shutdown": true,
+	// Sync joined the list with the WAL: a dropped fsync error silently
+	// voids the durability guarantee the call was there to buy.
+	"Close": true, "Flush": true, "Write": true, "Sync": true, "Shutdown": true,
 }
 
 var errType = types.Universe.Lookup("error").Type()

@@ -21,13 +21,14 @@ func (leakcheck) Doc() string {
 	return "cluster, obs and tsdb tests that spawn goroutines or start servers must call checkNoLeaks"
 }
 
-// spawnAPINames are cluster/obs entry points known to start background
-// goroutines even when the call resolves outside the analyzed unit
-// (e.g. an external test package dialing a service or listening an obs
-// server).
+// spawnAPINames are cluster/obs/tsdb entry points known to start
+// background goroutines even when the call resolves outside the analyzed
+// unit (e.g. an external test package dialing a service, listening an
+// obs server, or opening a durable store — tsdb.Open starts the WAL
+// batch flusher under the default fsync policy).
 var spawnAPINames = map[string]bool{
 	"Listen": true, "Serve": true, "Dial": true,
-	"DialResilientService": true, "Start": true,
+	"DialResilientService": true, "Start": true, "Open": true,
 }
 
 // leakcheckedPrefixes are the package trees the convention covers.

@@ -56,6 +56,8 @@ func TestFixtureFiresEveryAnalyzer(t *testing.T) {
 		"errdrop internal/obs/server.go:32",
 		"errdrop internal/obs/server.go:37",
 		"leakcheck internal/tsdb/store_test.go:10",
+		"errdrop internal/tsdb/wal.go:9",
+		"leakcheck internal/tsdb/wal_test.go:7",
 		"layering internal/util/util.go:4",
 	}
 	got := make([]string, 0, len(res.Diagnostics))
@@ -82,6 +84,8 @@ func TestCleanIdiomsNotFlagged(t *testing.T) {
 			t.Errorf("explicit _ = or defer flagged: %s", d)
 		case d.Rule == "errdrop" && strings.Contains(d.Pos.Filename, "obs/server.go") && d.Pos.Line > 38:
 			t.Errorf("propagated or deferred close flagged: %s", d)
+		case d.Rule == "errdrop" && strings.Contains(d.Pos.Filename, "tsdb/wal.go") && d.Pos.Line > 10:
+			t.Errorf("propagated or acknowledged fsync flagged: %s", d)
 		case d.Rule == "leakcheck" && !strings.Contains(d.Message, "Leaky"):
 			t.Errorf("guarded or pure test flagged: %s", d)
 		}

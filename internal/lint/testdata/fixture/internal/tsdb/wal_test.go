@@ -1,0 +1,17 @@
+package tsdb
+
+import "testing"
+
+// TestOpenLeaky opens the durable store — a spawn API: Open starts the
+// batch flusher — without arming the guard: leakcheck violation.
+func TestOpenLeaky(t *testing.T) {
+	st := Open()
+	_ = st
+}
+
+// TestOpenGuarded arms the guard first and must not be flagged.
+func TestOpenGuarded(t *testing.T) {
+	checkNoLeaks(t)
+	st := Open()
+	_ = st
+}

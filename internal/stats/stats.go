@@ -151,6 +151,19 @@ func (r *Running) Min() float64 { return r.min }
 // Max returns the largest observation (0 if none).
 func (r *Running) Max() float64 { return r.max }
 
+// M2 returns the running sum of squared deviations (the Welford
+// accumulator), exposed so a Running can be persisted and restored
+// bit-exactly.
+func (r *Running) M2() float64 { return r.m2 }
+
+// RestoreRunning rebuilds a Running from persisted state. Feeding back the
+// exact values returned by N/Mean/M2/Min/Max yields a summary that is
+// bit-identical to the original — the tsdb snapshot format depends on this
+// to round-trip open rollup buckets.
+func RestoreRunning(n int, mean, m2, min, max float64) Running {
+	return Running{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
 // Std returns the running population standard deviation.
 func (r *Running) Std() float64 {
 	if r.n == 0 {

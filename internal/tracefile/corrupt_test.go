@@ -1,0 +1,71 @@
+package tracefile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestReadCorruptHeader drives Read with truncated and garbage input: the
+// typed ErrCorruptHeader must fire for everything that is not a trace
+// file, and must NOT fire for a trace file with a damaged data row —
+// callers use the distinction to tell "wrong file" from "damaged file".
+func TestReadCorruptHeader(t *testing.T) {
+	goodHead := strings.Join(Header(), ",")
+	cases := []struct {
+		name    string
+		in      string
+		corrupt bool // want ErrCorruptHeader
+	}{
+		{"empty file", "", true},
+		{"whitespace only", "\n\n", true},
+		{"binary garbage", "\x00\x01\x7fPK\x03\x04\xff\xfe", true},
+		{"truncated header", "time_s,p_node_w,p_cpu", true},
+		{"wrong first column", strings.Replace(goodHead, "time_s", "timestamp", 1), true},
+		{"reordered columns", strings.Replace(goodHead, "p_node_w,p_cpu_w", "p_cpu_w,p_node_w", 1), true},
+		{"header from another csv", "name,age,city\nbob,4,berlin\n", true},
+		{"bad data row, good header", goodHead + "\nnope,90,,,,2.2,,1,2,3,4,5,6,7,8,9,10\n", false},
+		{"short data row, good header", goodHead + "\n0.0,90\n", false},
+		{"no data rows, good header", goodHead + "\n", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("corrupt input was accepted")
+			}
+			if got := errors.Is(err, ErrCorruptHeader); got != tc.corrupt {
+				t.Fatalf("errors.Is(err, ErrCorruptHeader) = %v, want %v (err: %v)", got, tc.corrupt, err)
+			}
+		})
+	}
+}
+
+// TestReadSeriesCorruptHeader is the same table for the series reader.
+func TestReadSeriesCorruptHeader(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		corrupt bool
+	}{
+		{"empty file", "", true},
+		{"binary garbage", "\xff\xfe\x00\x00\x01", true},
+		{"wrong first column", "when,p_node_w,min_w,max_w,count\n", true},
+		{"channel without _w suffix", "time_s,p_node,min_w,max_w,count\n", true},
+		{"header too short for a channel", "time_s,w,min_w,max_w,count\n", true},
+		{"unrelated csv header", "name,age,city,zip,phone\nbob,4,berlin,1,2\n", true},
+		{"bad data row, good header", "time_s,p_node_w,min_w,max_w,count\nnope,1,1,1,1\n", false},
+		{"short data row, good header", "time_s,p_node_w,min_w,max_w,count\n0.0,1\n", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ReadSeries(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("corrupt input was accepted")
+			}
+			if got := errors.Is(err, ErrCorruptHeader); got != tc.corrupt {
+				t.Fatalf("errors.Is(err, ErrCorruptHeader) = %v, want %v (err: %v)", got, tc.corrupt, err)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ package tracefile
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -24,6 +25,14 @@ import (
 	"highrpm/internal/pmu"
 	"highrpm/internal/tsdb"
 )
+
+// ErrCorruptHeader marks a file whose header line is missing, truncated,
+// or not a trace/series header at all — the caller handed us something
+// that was never (or is no longer) a tracefile, as opposed to a tracefile
+// with a bad data row. Callers distinguish the two with errors.Is: a
+// corrupt header usually means "wrong file", a bad row means "damaged
+// file".
+var ErrCorruptHeader = errors.New("tracefile: corrupt or missing header")
 
 // Row is one second of a persisted trace.
 type Row struct {
@@ -88,12 +97,12 @@ func Read(r io.Reader) (*File, error) {
 	cr.FieldsPerRecord = len(Header())
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("tracefile: header: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrCorruptHeader, err)
 	}
 	want := Header()
 	for i, h := range header {
 		if h != want[i] {
-			return nil, fmt.Errorf("tracefile: column %d is %q, want %q", i, h, want[i])
+			return nil, fmt.Errorf("%w: column %d is %q, want %q", ErrCorruptHeader, i, h, want[i])
 		}
 	}
 	f := &File{}
@@ -218,10 +227,10 @@ func ReadSeries(r io.Reader) (channel string, pts []tsdb.Point, err error) {
 	cr.FieldsPerRecord = 5
 	header, err := cr.Read()
 	if err != nil {
-		return "", nil, fmt.Errorf("tracefile: series header: %w", err)
+		return "", nil, fmt.Errorf("%w: %v", ErrCorruptHeader, err)
 	}
 	if header[0] != "time_s" || len(header[1]) < 3 || header[1][len(header[1])-2:] != "_w" {
-		return "", nil, fmt.Errorf("tracefile: not a series file (header %v)", header)
+		return "", nil, fmt.Errorf("%w: not a series file (header %v)", ErrCorruptHeader, header)
 	}
 	channel = header[1][:len(header[1])-2]
 	line := 1

@@ -1,0 +1,33 @@
+package persisttest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// checkNoLeaks arms the goroutine-leak guard the leakcheck analyzer
+// enforces for every internal/tsdb/... test that opens stores (Open may
+// start a batch flusher): at cleanup the goroutine count must return to
+// at most what it was when the test started.
+func checkNoLeaks(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, n, buf)
+	})
+}

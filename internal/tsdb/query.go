@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Point is one decoded sample or rollup bucket. At Raw resolution Value is
@@ -262,6 +263,16 @@ type Stats struct {
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	CachePoints int64 `json:"cache_points"`
+	// Durability counters, all zero on a memory-only store: WAL bytes,
+	// fsyncs, and records written since Open; records replayed by startup
+	// recovery; snapshot files on disk; and the age of the newest snapshot
+	// in seconds (-1 when there is none).
+	WALBytes           int64   `json:"wal_bytes"`
+	WALFsyncs          int64   `json:"wal_fsyncs"`
+	WALRecords         int64   `json:"wal_records"`
+	ReplayedRecords    int64   `json:"wal_replayed_records"`
+	Snapshots          int64   `json:"snapshots"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
 }
 
 // Stats walks every shard; it takes each shard lock briefly.
@@ -282,6 +293,17 @@ func (st *Store) Stats() Stats {
 	if st.cache != nil {
 		hits, misses, points := st.cache.stats()
 		out.CacheHits, out.CacheMisses, out.CachePoints = hits, misses, int64(points)
+	}
+	if st.wal != nil {
+		out.WALBytes = st.wal.bytes.Load()
+		out.WALFsyncs = st.wal.fsyncs.Load()
+		out.WALRecords = st.wal.records.Load()
+	}
+	out.ReplayedRecords = st.replayed.Load()
+	out.Snapshots = st.snapshots.Load()
+	out.SnapshotAgeSeconds = -1
+	if ms := st.lastSnapUnix.Load(); ms > 0 {
+		out.SnapshotAgeSeconds = float64(time.Now().UnixMilli()-ms) / 1000
 	}
 	for _, sh := range shards {
 		sh.mu.Lock()

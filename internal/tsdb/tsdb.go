@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Channel names one stored power series per node.
@@ -117,6 +118,20 @@ type Options struct {
 	// reads skip the bit-level decode. 0 selects DefaultCachePoints;
 	// negative disables the cache.
 	CachePoints int
+
+	// Dir is the durability directory holding the write-ahead log and
+	// snapshots. Only Open uses it; New always builds a memory-only store.
+	Dir string
+	// Fsync selects when the WAL reaches stable storage (see FsyncPolicy);
+	// the zero value is FsyncBatch.
+	Fsync FsyncPolicy
+	// SnapshotEvery is the automatic snapshot cadence in WAL records (one
+	// record per Ingest). 0 selects DefaultSnapshotEvery; negative
+	// disables automatic snapshots (Snapshot still works manually).
+	SnapshotEvery int
+	// FlushEvery is the FsyncBatch flush interval — the loss bound under
+	// that policy. 0 selects DefaultFlushEvery.
+	FlushEvery time.Duration
 }
 
 // DefaultCachePoints is the default decoded-block cache budget: a million
@@ -155,6 +170,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CachePoints < 0 {
 		o.CachePoints = 0 // disabled
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if o.SnapshotEvery < 0 {
+		o.SnapshotEvery = 0 // automatic snapshots disabled
+	}
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = DefaultFlushEvery
 	}
 	return o
 }
@@ -246,6 +270,20 @@ type Store struct {
 	queries   atomic.Int64
 	pointsOut atomic.Int64
 	evicted   atomic.Int64
+
+	// Durability state, set only by Open; all nil/zero on a memory-only
+	// store. snapMu serialises Snapshot (and the pruning it does);
+	// nextSnapAt is the WAL sequence that triggers the next automatic
+	// snapshot; flushStop/flushDone bracket the FsyncBatch flusher.
+	wal          *wal
+	dir          string
+	snapMu       sync.Mutex
+	replayed     atomic.Int64
+	snapshots    atomic.Int64
+	lastSnapUnix atomic.Int64 // ms since epoch of the newest snapshot; 0 none
+	nextSnapAt   atomic.Uint64
+	flushStop    chan struct{}
+	flushDone    chan struct{}
 }
 
 // New creates an empty store.
@@ -279,24 +317,47 @@ func (st *Store) shardFor(node string) *shard {
 // Ingest records one second of restored power for node. t is in seconds
 // (stored at millisecond resolution); values round-trip bit-exactly.
 // Ingest for distinct nodes runs concurrently — only the node's own shard
-// is locked.
+// is locked. On a durable store the sample is logged to the WAL before it
+// touches the in-memory series; a WAL error fails the ingest without
+// applying anything.
 func (st *Store) Ingest(node string, t float64, s Sample) error {
 	if st.closed.Load() {
 		return ErrClosed
 	}
-	sh := st.shardFor(node)
 	ts := int64(math.Round(t * 1000))
 	vals := [NumChannels]float64{s.PNode, s.PCPU, s.PMEM, s.PNodePrime, s.IPMI}
+	seq, err := st.ingest(node, ts, &vals, true)
+	if err != nil {
+		return err
+	}
+	st.maybeSnapshot(seq)
+	return nil
+}
+
+// ingest applies one sample under the node's shard lock. WAL replay calls
+// it with logWAL false (the record is already durable); live Ingest logs
+// first, so the WAL is always a superset of the in-memory state. Holding
+// the shard lock across both keeps per-node WAL order identical to apply
+// order.
+func (st *Store) ingest(node string, ts int64, vals *[NumChannels]float64, logWAL bool) (uint64, error) {
+	sh := st.shardFor(node)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if st.closed.Load() {
-		return ErrClosed
+		return 0, ErrClosed
+	}
+	var seq uint64
+	if logWAL && st.wal != nil {
+		var err error
+		if seq, err = st.wal.append(node, ts, vals); err != nil {
+			return 0, err
+		}
 	}
 	for i, v := range vals {
 		sh.chans[i].add(ts, v)
 	}
 	st.ingested.Add(1)
-	return nil
+	return seq, nil
 }
 
 // Nodes lists the node IDs with recorded history, sorted.
@@ -311,8 +372,10 @@ func (st *Store) Nodes() []string {
 	return out
 }
 
-// Close seals the open rollup buckets and refuses further ingest. Queries
-// keep working on the frozen history. Close is idempotent.
+// Close seals the open rollup buckets and refuses further ingest; on a
+// durable store it then stops the flusher and drains the WAL (flush +
+// fsync + close), so a clean shutdown loses nothing regardless of fsync
+// policy. Queries keep working on the frozen history. Close is idempotent.
 func (st *Store) Close() error {
 	if st.closed.Swap(true) {
 		return nil
@@ -331,6 +394,13 @@ func (st *Store) Close() error {
 			cs.r60.flush()
 		}
 		sh.mu.Unlock()
+	}
+	if st.flushStop != nil {
+		close(st.flushStop)
+		<-st.flushDone
+	}
+	if st.wal != nil {
+		return st.wal.close()
 	}
 	return nil
 }

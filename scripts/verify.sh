@@ -5,16 +5,19 @@
 # that this script gates formatting (gofmt), vets the tree with both
 # `go vet` and the project-specific highrpm-vet analyzers (determinism,
 # maporder, floateq, leakcheck, errdrop, layering — see internal/lint),
-# and race-checks the concurrent subsystems (the tsdb ingest/query paths,
-# the cluster service + fault-injection harness, the obs metric registry
-# and HTTP exposition server, the parallel training engine in
+# and race-checks the concurrent subsystems (the tsdb ingest/query/WAL
+# paths including the persisttest crash-injection harness, the cluster
+# service + fault-injection harness, the obs metric registry and HTTP
+# exposition server, the parallel training engine in
 # neural/tree/experiments, and the attribution ledger) so
 # locking regressions surface immediately. It then fuzzes the
 # wire-protocol decoders briefly (JSON envelope, binary framing, and the
-# cross-codec agreement law), and finishes with one pass over the
+# cross-codec agreement law) plus the durability decoders (WAL segment
+# scanner, snapshot loader), and finishes with one pass over the
 # PR 3 training benchmarks (BENCH_pr3.json), the PR 4 cluster
-# benchmarks (BENCH_pr4.json), and the PR 8 serving hot-path benchmarks
-# (BENCH_pr8.json), all emitted through scripts/bench_json.awk.
+# benchmarks (BENCH_pr4.json), the PR 8 serving hot-path benchmarks
+# (BENCH_pr8.json), and the PR 9 durability benchmarks (BENCH_pr9.json),
+# all emitted through scripts/bench_json.awk.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -33,8 +36,8 @@ echo "== highrpm-vet (project static analysis)"
 go run ./cmd/highrpm-vet ./...
 echo "== go test"
 go test ./...
-echo "== go test -race (tsdb, cluster incl. faultnet, obs)"
-go test -race ./internal/tsdb ./internal/cluster/... ./internal/obs
+echo "== go test -race (tsdb incl. persisttest, cluster incl. faultnet, obs)"
+go test -race ./internal/tsdb/... ./internal/cluster/... ./internal/obs
 echo "== go test -race (parallel training: neural, tree, experiments; attribution)"
 go test -race ./internal/neural ./internal/tree ./internal/experiments/... ./internal/attribution
 echo "== fuzz wire protocol (10s per target)"
@@ -42,6 +45,9 @@ go test -run '^$' -fuzz '^FuzzReadEnvelope$' -fuzztime=10s ./internal/cluster
 go test -run '^$' -fuzz '^FuzzEnvelopeRoundTrip$' -fuzztime=10s ./internal/cluster
 go test -run '^$' -fuzz '^FuzzBinaryEnvelopeRoundTrip$' -fuzztime=10s ./internal/cluster
 go test -run '^$' -fuzz '^FuzzCrossCodecSample$' -fuzztime=10s ./internal/cluster
+echo "== fuzz durability decoders (10s per target)"
+go test -run '^$' -fuzz '^FuzzWALRecord$' -fuzztime=10s ./internal/tsdb
+go test -run '^$' -fuzz '^FuzzSnapshotFile$' -fuzztime=10s ./internal/tsdb
 echo "== training benchmarks (1 iteration each)"
 bench_out="$(go test -run '^$' -bench 'BenchmarkLSTMFit|BenchmarkFineTuneLatency' -benchtime=1x -benchmem ./internal/neural)"
 echo "$bench_out"
@@ -61,4 +67,11 @@ cache_out="$(go test -run '^$' -bench 'BenchmarkQueryCached' -benchtime=1s -benc
 echo "$cache_out"
 printf '%s\n%s\n' "$hot_out" "$cache_out" | awk -f scripts/bench_json.awk > BENCH_pr8.json
 echo "wrote BENCH_pr8.json"
+echo "== durability benchmarks (WAL append, recovery, durable ingest)"
+wal_out="$(go test -run '^$' -bench 'BenchmarkWALAppend$|BenchmarkRecover$' -benchtime=1s -benchmem ./internal/tsdb)"
+echo "$wal_out"
+ingest_out="$(go test -run '^$' -bench 'BenchmarkStoreIngest$|BenchmarkStoreIngestWAL$' -benchtime=100000x -benchmem .)"
+echo "$ingest_out"
+printf '%s\n%s\n' "$wal_out" "$ingest_out" | awk -f scripts/bench_json.awk > BENCH_pr9.json
+echo "wrote BENCH_pr9.json"
 echo "verify: OK"
