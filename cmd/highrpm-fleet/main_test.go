@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseShards(t *testing.T) {
+	top, err := parseShards("ingest-a=10.0.0.1:9000, 10.0.0.2:9000 ,b=host:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct{ name, addr string }{
+		{"ingest-a", "10.0.0.1:9000"},
+		{"shard-1", "10.0.0.2:9000"},
+		{"b", "host:1"},
+	}
+	if len(top.Shards) != len(want) {
+		t.Fatalf("got %d shards, want %d: %+v", len(top.Shards), len(want), top.Shards)
+	}
+	for i, w := range want {
+		if top.Shards[i].Name != w.name || top.Shards[i].Addr != w.addr {
+			t.Errorf("shard %d = %+v, want %+v", i, top.Shards[i], w)
+		}
+	}
+}
+
+func TestParseShardsErrors(t *testing.T) {
+	for _, bad := range []string{"", "  ", "a=,b=x:1", "=x:1", "a=1:1,,b=2:2"} {
+		if _, err := parseShards(bad); err == nil {
+			t.Errorf("parseShards(%q) accepted", bad)
+		}
+	}
+}

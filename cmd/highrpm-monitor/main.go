@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"highrpm"
+	"highrpm/internal/cliutil"
 )
 
 func main() {
@@ -81,7 +82,7 @@ func main() {
 		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof on the observability endpoint")
 		grace     = flag.Duration("grace", 2*time.Second, "graceful-shutdown drain for the service and HTTP endpoint")
 	)
-	flag.Usage = groupedUsage
+	flag.Usage = cliutil.GroupedUsage(flag.CommandLine, "highrpm-monitor", flagGroups)
 	flag.Parse()
 	if *codec != highrpm.CodecBinary && *codec != highrpm.CodecJSON {
 		fmt.Fprintf(os.Stderr, "highrpm-monitor: -codec must be %q or %q\n", highrpm.CodecBinary, highrpm.CodecJSON)
@@ -307,58 +308,15 @@ func dialAgent(addr, nodeID string, resilient bool, codec string, batch highrpm.
 	return a, nil
 }
 
-// flagGroups orders -help by subsystem instead of flag.PrintDefaults'
-// alphabetical interleaving. Flags registered but not listed here surface
-// under "Other" so new knobs can never silently vanish from the help text.
-var flagGroups = []struct {
-	title string
-	names []string
-}{
-	{"Simulation", []string{"model", "nodes", "bench", "duration", "miss", "retain", "seed", "quiet"}},
-	{"Service hardening", []string{"read-timeout", "write-timeout", "max-frame", "max-conns"}},
-	{"Agent & wire protocol", []string{"resilient", "codec", "batch", "batch-interval"}},
-	{"Durability", []string{"data-dir", "fsync", "snapshot-every"}},
-	{"Observability & shutdown", []string{"http", "pprof", "grace"}},
-}
-
-// groupedUsage prints -help with the knobs grouped by subsystem.
-func groupedUsage() {
-	w := flag.CommandLine.Output()
-	fmt.Fprintln(w, "Usage of highrpm-monitor:")
-	listed := map[string]bool{}
-	printFlag := func(f *flag.Flag) {
-		arg, usage := flag.UnquoteUsage(f)
-		line := "  -" + f.Name
-		if arg != "" {
-			line += " " + arg
-		}
-		fmt.Fprintf(w, "%s\n    \t%s", line, usage)
-		if f.DefValue != "" && f.DefValue != "false" && f.DefValue != "0" && f.DefValue != "0s" {
-			fmt.Fprintf(w, " (default %s)", f.DefValue)
-		}
-		fmt.Fprintln(w)
-	}
-	for _, g := range flagGroups {
-		fmt.Fprintf(w, "\n%s:\n", g.title)
-		for _, name := range g.names {
-			if f := flag.Lookup(name); f != nil {
-				printFlag(f)
-				listed[name] = true
-			}
-		}
-	}
-	var rest []*flag.Flag
-	flag.VisitAll(func(f *flag.Flag) {
-		if !listed[f.Name] {
-			rest = append(rest, f)
-		}
-	})
-	if len(rest) > 0 {
-		fmt.Fprintln(w, "\nOther:")
-		for _, f := range rest {
-			printFlag(f)
-		}
-	}
+// flagGroups orders -help by subsystem (see internal/cliutil): flags
+// registered but not listed here surface under "Other" so new knobs can
+// never silently vanish from the help text.
+var flagGroups = []cliutil.Group{
+	{Title: "Simulation", Names: []string{"model", "nodes", "bench", "duration", "miss", "retain", "seed", "quiet"}},
+	{Title: "Service hardening", Names: []string{"read-timeout", "write-timeout", "max-frame", "max-conns"}},
+	{Title: "Agent & wire protocol", Names: []string{"resilient", "codec", "batch", "batch-interval"}},
+	{Title: "Durability", Names: []string{"data-dir", "fsync", "snapshot-every"}},
+	{Title: "Observability & shutdown", Names: []string{"http", "pprof", "grace"}},
 }
 
 // loadOrTrain loads a persisted model or trains a compact one in-process.

@@ -26,8 +26,15 @@ import (
 	"strings"
 
 	"highrpm"
+	"highrpm/internal/cliutil"
 	"highrpm/internal/tracefile"
 )
+
+// flagGroups orders -help by subsystem (see internal/cliutil).
+var flagGroups = []cliutil.Group{
+	{Title: "Connection & window", Names: []string{"addr", "node", "channel", "from", "to", "res"}},
+	{Title: "Output", Names: []string{"csv", "json", "stats"}},
+}
 
 func main() {
 	var (
@@ -41,6 +48,7 @@ func main() {
 		jsonOut = flag.Bool("json", false, "write the series as JSON to stdout (the /api/v1/series wire encoding)")
 		stats   = flag.Bool("stats", false, "also print service and store statistics")
 	)
+	flag.Usage = cliutil.GroupedUsage(flag.CommandLine, "highrpm-query", flagGroups)
 	flag.Parse()
 	if *addr == "" {
 		fmt.Fprintln(os.Stderr, "highrpm-query: -addr is required")

@@ -47,8 +47,8 @@ func TestJSONOutput(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, out)
 	}
-	if len(parsed.Diagnostics) != 17 {
-		t.Fatalf("got %d diagnostics, want 17", len(parsed.Diagnostics))
+	if len(parsed.Diagnostics) != 20 {
+		t.Fatalf("got %d diagnostics, want 20", len(parsed.Diagnostics))
 	}
 	rules := make(map[string]bool)
 	for _, d := range parsed.Diagnostics {

@@ -29,6 +29,7 @@ import (
 	"highrpm/internal/cluster"
 	"highrpm/internal/core"
 	"highrpm/internal/dataset"
+	"highrpm/internal/fleet"
 	"highrpm/internal/governor"
 	"highrpm/internal/gpuext"
 	"highrpm/internal/obs"
@@ -404,6 +405,37 @@ func DefaultMetricsServerOptions() MetricsServerOptions { return obs.DefaultServ
 
 // NewAgentMetrics registers the highrpm_agent_* gauges on reg.
 func NewAgentMetrics(reg *MetricsRegistry) *AgentMetrics { return cluster.NewAgentMetrics(reg) }
+
+// Fleet types: the horizontal scale-out layer fronting N backend services
+// (see examples/fleet). A FleetRouter speaks the same wire protocol as a
+// Service, so existing agents dial it unchanged: writes are consistent-hash
+// routed (optionally replicated) to backend shards, aggregate reads
+// scatter-gather every shard and merge bit-identically to a single
+// service's answer.
+type (
+	// FleetRouter is the sharding front-end.
+	FleetRouter = fleet.Router
+	// FleetTopology lists the backend shards.
+	FleetTopology = fleet.Topology
+	// FleetShard names one backend service.
+	FleetShard = fleet.Shard
+	// TopologyOptions tunes ring placement, replication and pooling.
+	TopologyOptions = fleet.TopologyOptions
+	// FleetStats is the router's own routing/replication accounting.
+	FleetStats = fleet.Stats
+	// FleetShardStatus is the router's live view of one shard.
+	FleetShardStatus = fleet.ShardStatus
+)
+
+// NewRouter builds a fleet router over the given topology. Call Listen to
+// serve the cluster wire protocol.
+func NewRouter(top FleetTopology, opts TopologyOptions) (*FleetRouter, error) {
+	return fleet.NewRouter(top, opts)
+}
+
+// DefaultTopologyOptions returns the deployment defaults (64 virtual
+// nodes per shard, no replication).
+func DefaultTopologyOptions() TopologyOptions { return fleet.DefaultTopologyOptions() }
 
 // Attribution types: per-job energy accounting on shared nodes (see
 // examples/accounting).

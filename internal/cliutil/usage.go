@@ -1,0 +1,62 @@
+// Package cliutil carries the command-line conventions shared by the
+// highrpm binaries — chiefly -help output ordered by subsystem instead of
+// flag.PrintDefaults' alphabetical interleaving, so related knobs (wire
+// protocol, durability, observability) read as one block.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+)
+
+// Group names one -help section and the registered flags it collects, in
+// display order.
+type Group struct {
+	Title string
+	Names []string
+}
+
+// GroupedUsage returns a flag.Usage implementation for fs that prints the
+// binary's flags grouped by subsystem. Flags registered on fs but not
+// listed in any group surface under a final "Other" section, so a newly
+// added knob can never silently vanish from the help text.
+func GroupedUsage(fs *flag.FlagSet, name string, groups []Group) func() {
+	return func() {
+		w := fs.Output()
+		fmt.Fprintf(w, "Usage of %s:\n", name)
+		listed := map[string]bool{}
+		printFlag := func(f *flag.Flag) {
+			arg, usage := flag.UnquoteUsage(f)
+			line := "  -" + f.Name
+			if arg != "" {
+				line += " " + arg
+			}
+			fmt.Fprintf(w, "%s\n    \t%s", line, usage)
+			if f.DefValue != "" && f.DefValue != "false" && f.DefValue != "0" && f.DefValue != "0s" {
+				fmt.Fprintf(w, " (default %s)", f.DefValue)
+			}
+			fmt.Fprintln(w)
+		}
+		for _, g := range groups {
+			fmt.Fprintf(w, "\n%s:\n", g.Title)
+			for _, n := range g.Names {
+				if f := fs.Lookup(n); f != nil {
+					printFlag(f)
+					listed[n] = true
+				}
+			}
+		}
+		var rest []*flag.Flag
+		fs.VisitAll(func(f *flag.Flag) {
+			if !listed[f.Name] {
+				rest = append(rest, f)
+			}
+		})
+		if len(rest) > 0 {
+			fmt.Fprintln(w, "\nOther:")
+			for _, f := range rest {
+				printFlag(f)
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestGroupedUsage(t *testing.T) {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	fs.String("addr", "", "service `address`")
+	fs.Int("nodes", 2, "node count")
+	fs.Duration("grace", 0, "drain window")
+	fs.Bool("surprise", false, "registered but ungrouped")
+	var out bytes.Buffer
+	fs.SetOutput(&out)
+
+	GroupedUsage(fs, "demo", []Group{
+		{Title: "Connection", Names: []string{"addr", "missing-flag"}},
+		{Title: "Shutdown", Names: []string{"grace", "nodes"}},
+	})()
+	text := out.String()
+
+	for _, want := range []string{
+		"Usage of demo:",
+		"Connection:",
+		"  -addr address",
+		"Shutdown:",
+		"Other:",
+		"-surprise",
+		"(default 2)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("usage missing %q:\n%s", want, text)
+		}
+	}
+	// Groups print in declaration order, ungrouped flags last.
+	if c, s, o := strings.Index(text, "Connection:"), strings.Index(text, "Shutdown:"), strings.Index(text, "Other:"); !(c < s && s < o) {
+		t.Errorf("sections out of order (%d, %d, %d):\n%s", c, s, o, text)
+	}
+	// Zero-ish defaults are not echoed.
+	if strings.Contains(text, "default false") || strings.Contains(text, "default 0s") {
+		t.Errorf("zero default echoed:\n%s", text)
+	}
+	// A name not registered on the set is skipped, not printed empty.
+	if strings.Contains(text, "missing-flag") {
+		t.Errorf("unregistered flag printed:\n%s", text)
+	}
+}

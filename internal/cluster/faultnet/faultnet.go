@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -68,6 +69,11 @@ type Proxy struct {
 	ln net.Listener
 	wg sync.WaitGroup
 
+	// silenceAll, while set, blackholes the proxy shard-wide: every
+	// forwarder latches silent the next time it wakes, and connections
+	// accepted meanwhile start silent (see BlackholeAll).
+	silenceAll atomic.Bool
+
 	mu       sync.Mutex
 	accepted int
 	conns    map[net.Conn]struct{}
@@ -102,6 +108,37 @@ func (p *Proxy) Accepted() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.accepted
+}
+
+// BlackholeAll silences the proxy shard-wide: every currently proxied
+// connection stops forwarding (in both directions) the moment its
+// forwarder next wakes, and connections accepted while the blackhole
+// holds start silent. Dials still succeed — the accept-then-silence
+// failure of ActBlackhole, but applied to the whole shard rather than one
+// scripted connection, which is what "blackhole one shard mid-ingest"
+// needs.
+func (p *Proxy) BlackholeAll() { p.silenceAll.Store(true) }
+
+// Restore lifts a BlackholeAll for subsequently accepted connections.
+// Already-silenced connections stay dead (bytes they drained were never
+// forwarded, so their streams have holes), exactly like TCP flows across
+// a healed partition: peers must redial.
+func (p *Proxy) Restore() { p.silenceAll.Store(false) }
+
+// SeverAll severs every currently proxied connection (reset: RST instead
+// of FIN) while the listener keeps accepting, modelling a service restart
+// that kills in-flight connections but lets redials through.
+func (p *Proxy) SeverAll(reset bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		if reset {
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+		}
+		_ = c.Close()
+	}
 }
 
 // Close stops the listener, severs every proxied connection, and waits for
@@ -202,6 +239,11 @@ func (p *Proxy) forward(dst, src net.Conn, f Fault) {
 	)
 	for {
 		n, err := src.Read(buf)
+		// A shard-wide blackhole latches before any forwarding decision, so
+		// bytes read after BlackholeAll never leak through.
+		if !silenced && p.silenceAll.Load() {
+			silenced = true
+		}
 		if n > 0 && !silenced {
 			chunk := buf[:n]
 			for len(chunk) > 0 {
@@ -271,13 +313,13 @@ func (p *Proxy) forward(dst, src net.Conn, f Fault) {
 			}
 		}
 		if err != nil {
-			if !silenced {
-				sever(dst, src, false)
-			} else {
-				// The silent direction still tears down once its source
-				// is gone (proxy Close or peer give-up).
-				_ = src.Close()
-			}
+			// Tear the pair down even when silenced: a blackholed
+			// connection is silent only while its source lives. Leaving
+			// the far side open once the peer gave up would strand the
+			// opposite forwarder — and Proxy.Close behind it — on a read
+			// nothing will ever finish (the deferred untracks have already
+			// hidden both conns from Close).
+			sever(dst, src, false)
 			return
 		}
 	}

@@ -328,6 +328,21 @@ func (ra *ResilientAgent) Flush() ([]Estimate, error) {
 	return ra.flushLocal()
 }
 
+// SendSamples delivers a prepared batch of samples in order through the
+// resilience machinery: the samples join any pending Record batch and the
+// whole thing is flushed immediately, so a transport failure buffers them
+// for in-order replay exactly like Flush. The fleet router uses this to
+// forward a front-end RecordBatch to a backend shard without re-batching.
+func (ra *ResilientAgent) SendSamples(samples []BatchSample) ([]Estimate, error) {
+	if ra.closed {
+		return nil, ErrAgentClosed
+	}
+	for i := range samples {
+		ra.batch.add(samples[i].Time, samples[i].PMC, samples[i].Measured)
+	}
+	return ra.Flush()
+}
+
 // sendBatchOnce performs one deadline-bounded batch round trip on the
 // current connection.
 func (ra *ResilientAgent) sendBatchOnce() ([]Estimate, error) {
@@ -519,6 +534,34 @@ func (ra *ResilientAgent) Stats() (Stats, error) {
 		return Stats{}, err
 	}
 	return st, nil
+}
+
+// Query fetches stored power history over the current connection
+// (redialing first if necessary). Like Stats it has no local fallback:
+// when the service is unreachable it returns the transport error and
+// schedules the next probe.
+func (ra *ResilientAgent) Query(req QueryRequest) (SeriesBody, error) {
+	if ra.closed {
+		return SeriesBody{}, ErrAgentClosed
+	}
+	if ra.agent == nil && !ra.redial() {
+		return SeriesBody{}, fmt.Errorf("cluster: disconnected (next probe in %v)", time.Until(ra.nextProbe).Round(time.Millisecond))
+	}
+	if ra.opts.RequestTimeout > 0 {
+		ra.agent.setDeadline(time.Now().Add(ra.opts.RequestTimeout))
+		defer ra.agent.setDeadline(time.Time{})
+	}
+	body, err := ra.agent.Query(req)
+	if err != nil {
+		var se *ServiceError
+		if !errors.As(err, &se) {
+			ra.counters.SendFailures++
+			ra.failProbe()
+			ra.dropConn()
+		}
+		return SeriesBody{}, err
+	}
+	return body, nil
 }
 
 // Close terminates the connection. Buffered samples not yet replayed and

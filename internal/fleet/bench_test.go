@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"highrpm/internal/cluster"
+	"highrpm/internal/core"
+)
+
+// pacedStub is a minimal wire-compatible shard backend whose sample
+// handling is serialized and paced: the whole shard processes one sample
+// per serviceTime, whatever the connection count. On this benchmark's
+// single-CPU runners a real in-process cluster.Service cannot demonstrate
+// horizontal scaling — every shard contends for the same core — so the
+// ingest benchmark models what sharding actually buys in deployment:
+// independent backends whose service time overlaps. The router under test
+// is the real one, doing real framing, routing, and pooling work.
+type pacedStub struct {
+	ln          net.Listener
+	serviceTime time.Duration
+	model       []byte
+
+	mu sync.Mutex // the shard-wide pacing token
+	wg sync.WaitGroup
+}
+
+func startPacedStub(tb testing.TB, serviceTime time.Duration, model []byte) *pacedStub {
+	tb.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := &pacedStub{ln: ln, serviceTime: serviceTime, model: model}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	tb.Cleanup(s.close)
+	return s
+}
+
+func (s *pacedStub) close() {
+	_ = s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *pacedStub) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			_ = s.handle(conn)
+		}()
+	}
+}
+
+func (s *pacedStub) handle(conn net.Conn) error {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	nodeID := ""
+	for {
+		env, err := cluster.ReadMsg(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		switch env.Kind {
+		case cluster.KindHello:
+			var h cluster.Hello
+			if err := cluster.DecodeBody(env, &h); err != nil {
+				return err
+			}
+			nodeID = h.NodeID
+			if err := cluster.WriteMsg(bw, cluster.KindHello, cluster.Hello{NodeID: nodeID}); err != nil {
+				return err
+			}
+		case cluster.KindModel:
+			if err := cluster.WriteMsg(bw, cluster.KindModel, cluster.ModelBody{Data: s.model}); err != nil {
+				return err
+			}
+		case cluster.KindSample:
+			var smp cluster.Sample
+			if err := cluster.DecodeBody(env, &smp); err != nil {
+				return err
+			}
+			s.mu.Lock()
+			time.Sleep(s.serviceTime)
+			s.mu.Unlock()
+			est := cluster.Estimate{NodeID: nodeID, Time: smp.Time, PNode: 100, PCPU: 60, PMEM: 25}
+			if err := cluster.WriteMsg(bw, cluster.KindEstimate, est); err != nil {
+				return err
+			}
+		case cluster.KindStats:
+			if err := cluster.WriteMsg(bw, cluster.KindStats, cluster.Stats{}); err != nil {
+				return err
+			}
+		default:
+			if err := cluster.WriteMsg(bw, cluster.KindError, cluster.ErrorBody{Message: "unsupported"}); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// BenchmarkRouterIngest measures routed sample throughput against 1, 2,
+// and 4 paced stub shards (200µs of serialized service time per sample
+// per shard). Throughput should scale with the shard count: that is the
+// whole point of the fleet layer — with the ring spreading nodes evenly,
+// shard service time overlaps instead of queueing.
+func BenchmarkRouterIngest(b *testing.B) {
+	modelBytes, err := core.Marshal(sharedModel(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const serviceTime = 200 * time.Microsecond
+	const totalNodes = 8
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			top := Topology{}
+			for i := 0; i < shards; i++ {
+				stub := startPacedStub(b, serviceTime, modelBytes)
+				top.Shards = append(top.Shards, Shard{Name: fmt.Sprintf("shard-%d", i), Addr: stub.ln.Addr().String()})
+			}
+			r, err := NewRouter(top, DefaultTopologyOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.Logf = b.Logf
+			if err := r.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+
+			nodes := balancedNodes(b, r, totalNodes/shards)
+			agents := make([]*cluster.Agent, len(nodes))
+			for i, node := range nodes {
+				ag, err := cluster.Dial(r.Addr(), node)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer ag.Close()
+				agents[i] = ag
+			}
+
+			pmc := make([]float64, 8)
+			var next atomic.Int64
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i := range agents {
+				wg.Add(1)
+				go func(ag *cluster.Agent) {
+					defer wg.Done()
+					for {
+						n := next.Add(1)
+						if n > int64(b.N) {
+							return
+						}
+						if _, err := ag.Send(float64(n), pmc, nil); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(agents[i])
+			}
+			wg.Wait()
+			b.StopTimer()
+		})
+	}
+}
+
+// BenchmarkScatterQuery measures the cluster-wide aggregate against two
+// real backends: every known node's series fetched from its owner shard
+// and merged in sorted node order.
+func BenchmarkScatterQuery(b *testing.B) {
+	r, _ := startFleet(b, 2, DefaultTopologyOptions())
+	nodes := balancedNodes(b, r, 2)
+	const seconds = 30
+	for ni, node := range nodes {
+		samples := genSamples(b, int64(900+ni), seconds)
+		ag, err := cluster.Dial(r.Addr(), node)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, smp := range samples {
+			if _, err := ag.Send(smp.Time, smp.PMC, smp.Measured); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ag.Close()
+	}
+	fa, err := cluster.Dial(r.Addr(), "bench-client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fa.Close()
+	q := cluster.QueryRequest{Channel: "p_node", From: 0, To: seconds - 1, ResolutionS: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, err := fa.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(body.Points) != seconds {
+			b.Fatalf("%d points, want %d", len(body.Points), seconds)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package fleet is HighRPM's horizontal scale-out layer: a Router fronts
+// N cluster.Service backends and speaks the same wire protocol agents
+// already use, so a fleet is a drop-in replacement for a single service.
+//
+// Node IDs are consistent-hash-sharded across the backends (ring.go):
+// each shard contributes configurable virtual nodes to a deterministic
+// FNV-64a ring, so the same topology always yields the same placement and
+// removing a shard moves only that shard's keys. Ingest traffic (Hello,
+// Sample, RecordBatch) is forwarded over pooled ResilientAgent
+// connections — one per (node, shard) so per-node sample order survives
+// retries, degraded-mode buffering, and in-order replay — with optional
+// replication factor R: the ring owner is the primary and the next R-1
+// distinct shards clockwise are followers, written synchronously in
+// parallel. When the primary can only answer from its local model
+// snapshot, the first follower with a live service answer takes over the
+// reply (failover), and the primary's buffered samples replay in order
+// once it rejoins, resyncing its model snapshot through the existing
+// model-fetch path.
+//
+// Queries federate instead of forwarding: a single-node KindQuery goes to
+// a live replica of its owner, while the cluster-wide aggregate
+// scatter-gathers every known node's series from the shards in parallel
+// and merges them serially in sorted node order with tsdb.MergeNodeSeries
+// — the exact accumulation discipline the tsdb's own parallel Aggregate
+// uses. Floating-point addition is not associative, so that shared merge
+// is what makes a fleet's QuerySeries, Aggregate and Stats answers
+// byte-identical to a single service fed the same samples. KindStats
+// scatter-gathers and sums the per-shard statistics the same way.
+package fleet

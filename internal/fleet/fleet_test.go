@@ -1,0 +1,529 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"highrpm/internal/cluster"
+	"highrpm/internal/core"
+	"highrpm/internal/dataset"
+	"highrpm/internal/platform"
+	"highrpm/internal/tsdb"
+	"highrpm/internal/workload"
+)
+
+// trainedModel builds one compact model shared by every test in the
+// package (the same recipe the cluster tests use).
+var (
+	modelOnce sync.Once
+	testModel *core.HighRPM
+	modelErr  error
+)
+
+func sharedModel(t testing.TB) *core.HighRPM {
+	t.Helper()
+	modelOnce.Do(func() {
+		cfg := dataset.DefaultGenerateConfig()
+		cfg.SamplesPerSuite = 150
+		train := &dataset.Set{}
+		for _, s := range []string{workload.SuiteHPCC, workload.SuiteSPEC} {
+			set, err := dataset.GenerateSuite(cfg, s)
+			if err != nil {
+				modelErr = err
+				return
+			}
+			train.Append(set)
+		}
+		opts := core.DefaultOptions()
+		opts.ActiveLearning = false
+		opts.Dynamic.Epochs = 4
+		opts.Dynamic.MaxWindows = 120
+		testModel, modelErr = core.Train(train, opts)
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return testModel
+}
+
+// checkNoLeaks arms a goroutine-leak assertion for the calling test (the
+// cluster package's discipline): call it first, before t.Cleanup-registered
+// servers, so the count is checked after every server shut down.
+func checkNoLeaks(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, n, buf)
+	})
+}
+
+// startBackend spins up one real cluster.Service on a loopback port.
+func startBackend(t testing.TB) *cluster.Service {
+	t.Helper()
+	svc := cluster.NewService(sharedModel(t))
+	svc.Logf = t.Logf
+	if err := svc.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+// startFleet builds n backends and a router fronting them, returning both.
+func startFleet(t testing.TB, n int, opts TopologyOptions) (*Router, []*cluster.Service) {
+	t.Helper()
+	backends := make([]*cluster.Service, n)
+	top := Topology{}
+	for i := range backends {
+		backends[i] = startBackend(t)
+		top.Shards = append(top.Shards, Shard{Name: fmt.Sprintf("shard-%d", i), Addr: backends[i].Addr()})
+	}
+	r, err := NewRouter(top, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Logf = t.Logf
+	if err := r.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, backends
+}
+
+// balancedNodes picks perShard node names per shard (by ring placement),
+// sorted, so equivalence tests exercise every backend.
+func balancedNodes(t testing.TB, r *Router, perShard int) []string {
+	t.Helper()
+	counts := make([]int, len(r.shards))
+	nodes := make([]string, 0, perShard*len(r.shards))
+	for i := 0; len(nodes) < perShard*len(r.shards); i++ {
+		if i > 10000 {
+			t.Fatal("could not balance nodes over shards")
+		}
+		name := fmt.Sprintf("node-%03d", i)
+		idx := r.ring.owner(name)
+		if counts[idx] < perShard {
+			counts[idx]++
+			nodes = append(nodes, name)
+		}
+	}
+	sort.Strings(nodes)
+	return nodes
+}
+
+// genSamples produces n deterministic seconds of telemetry for one
+// simulated node; every tenth second carries an IPMI reading.
+func genSamples(t testing.TB, seed int64, n int) []cluster.Sample {
+	t.Helper()
+	node, err := platform.NewNode(platform.ARMConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.Find("HPCC/FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Attach(b)
+	out := make([]cluster.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		s := node.Step(1)
+		smp := cluster.Sample{Time: s.Time, PMC: s.Counters.Slice()}
+		if i%10 == 0 {
+			v := s.PNode
+			smp.Measured = &v
+		}
+		out = append(out, smp)
+	}
+	return out
+}
+
+func sameEstimate(a, b cluster.Estimate) bool {
+	return a.NodeID == b.NodeID &&
+		math.Float64bits(a.Time) == math.Float64bits(b.Time) &&
+		math.Float64bits(a.PNode) == math.Float64bits(b.PNode) &&
+		math.Float64bits(a.PCPU) == math.Float64bits(b.PCPU) &&
+		math.Float64bits(a.PMEM) == math.Float64bits(b.PMEM) &&
+		a.FromMeasurement == b.FromMeasurement &&
+		a.Local == b.Local
+}
+
+func mustJSON(t testing.TB, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// stripTransport zeroes the Stats fields that depend on connection count,
+// codec negotiation, and framing — everything the extra router hop
+// legitimately changes — leaving the sample, estimate, and store
+// accounting that must match a single service exactly.
+func stripTransport(st *cluster.Stats) {
+	st.Conns, st.PeakConns, st.NodeConns = 0, 0, nil
+	st.BinConns, st.BinFrames, st.JSONFrames = 0, 0, 0
+	st.Rejected, st.TimedOut = 0, 0
+	st.Batches, st.BatchSamples = 0, 0
+}
+
+// TestFleetEquivalence is the PR's acceptance golden test: a 2-shard
+// fleet must answer every estimate, QuerySeries, Aggregate, and Stats
+// request byte-identically to a single service fed the same samples.
+func TestFleetEquivalence(t *testing.T) {
+	checkNoLeaks(t)
+	r, _ := startFleet(t, 2, DefaultTopologyOptions())
+	ref := startBackend(t)
+
+	nodes := balancedNodes(t, r, 2)
+	const seconds = 60
+	for ni, node := range nodes {
+		samples := genSamples(t, int64(100+ni), seconds)
+		fa, err := cluster.Dial(r.Addr(), node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := cluster.Dial(ref.Addr(), node)
+		if err != nil {
+			fa.Close()
+			t.Fatal(err)
+		}
+		for i, smp := range samples {
+			fest, err := fa.Send(smp.Time, smp.PMC, smp.Measured)
+			if err != nil {
+				t.Fatalf("fleet send %s[%d]: %v", node, i, err)
+			}
+			rest, err := ra.Send(smp.Time, smp.PMC, smp.Measured)
+			if err != nil {
+				t.Fatalf("ref send %s[%d]: %v", node, i, err)
+			}
+			if !sameEstimate(fest, rest) {
+				t.Fatalf("estimate %s[%d]: fleet %+v, ref %+v", node, i, fest, rest)
+			}
+		}
+		fa.Close()
+		ra.Close()
+	}
+
+	fa, err := cluster.Dial(r.Addr(), "query-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	ra, err := cluster.Dial(ref.Addr(), "query-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+
+	// Stats before any queries touch the stores: the summed fleet answer
+	// must equal the single service's, transport accounting aside.
+	fst, err := fa.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst, err := ra.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTransport(&fst)
+	stripTransport(&rst)
+	if !reflect.DeepEqual(fst, rst) {
+		t.Fatalf("stats diverge:\nfleet %+v\nref   %+v", fst, rst)
+	}
+
+	// Every node, every channel, raw and rolled up: byte-identical wire
+	// bodies.
+	for _, node := range nodes {
+		for _, ch := range tsdb.Channels() {
+			for _, res := range []int{1, 10} {
+				q := cluster.QueryRequest{NodeID: node, Channel: string(ch), From: 0, To: seconds - 1, ResolutionS: res}
+				fb, err := fa.Query(q)
+				if err != nil {
+					t.Fatalf("fleet query %+v: %v", q, err)
+				}
+				rb, err := ra.Query(q)
+				if err != nil {
+					t.Fatalf("ref query %+v: %v", q, err)
+				}
+				if fj, rj := mustJSON(t, fb), mustJSON(t, rb); fj != rj {
+					t.Fatalf("series %s/%s@%ds diverges:\nfleet %s\nref   %s", node, ch, res, fj, rj)
+				}
+			}
+		}
+	}
+
+	// The cluster-wide aggregate: scatter-gathered across shards, merged
+	// in sorted node order — bit-identical to the single store's own
+	// parallel Aggregate.
+	for _, ch := range tsdb.Channels() {
+		for _, res := range []int{1, 10, 60} {
+			q := cluster.QueryRequest{Channel: string(ch), From: 0, To: seconds - 1, ResolutionS: res}
+			fb, err := fa.Query(q)
+			if err != nil {
+				t.Fatalf("fleet aggregate %+v: %v", q, err)
+			}
+			rb, err := ra.Query(q)
+			if err != nil {
+				t.Fatalf("ref aggregate %+v: %v", q, err)
+			}
+			if fj, rj := mustJSON(t, fb), mustJSON(t, rb); fj != rj {
+				t.Fatalf("aggregate %s@%ds diverges:\nfleet %s\nref   %s", ch, res, fj, rj)
+			}
+		}
+	}
+
+	// Errors must read byte-identical too: unknown channels and bad
+	// resolutions are rejected with the service's own message whether the
+	// query names a node or scatters.
+	for _, q := range []cluster.QueryRequest{
+		{NodeID: nodes[0], Channel: "bogus", From: 0, To: 10},
+		{Channel: "bogus", From: 0, To: 10},
+		{Channel: "p_node", From: 0, To: 10, ResolutionS: 7},
+	} {
+		_, ferr := fa.Query(q)
+		_, rerr := ra.Query(q)
+		if ferr == nil || rerr == nil {
+			t.Fatalf("query %+v: fleet err %v, ref err %v", q, ferr, rerr)
+		}
+		if ferr.Error() != rerr.Error() {
+			t.Fatalf("error for %+v diverges: fleet %q, ref %q", q, ferr, rerr)
+		}
+	}
+
+	st := r.Stats()
+	if st.Nodes != len(nodes) {
+		t.Fatalf("router nodes = %d, want %d", st.Nodes, len(nodes))
+	}
+	if st.Routed != int64(len(nodes)*seconds) {
+		t.Fatalf("routed = %d, want %d", st.Routed, len(nodes)*seconds)
+	}
+	if st.Replicated != 0 || st.FailedOver != 0 {
+		t.Fatalf("unexpected replication counters: %+v", st)
+	}
+	if st.ScatterGathers == 0 {
+		t.Fatal("no scatter-gathers counted")
+	}
+}
+
+// TestFleetReplicatedEquivalence repeats the golden path with R=2 on two
+// shards: every node's stream lands on both backends, answers stay
+// byte-identical, and each backend's store independently holds the full
+// fleet history.
+func TestFleetReplicatedEquivalence(t *testing.T) {
+	checkNoLeaks(t)
+	opts := DefaultTopologyOptions()
+	opts.Replication = 2
+	r, backends := startFleet(t, 2, opts)
+	ref := startBackend(t)
+
+	nodes := balancedNodes(t, r, 1)
+	const seconds = 40
+	for ni, node := range nodes {
+		samples := genSamples(t, int64(300+ni), seconds)
+		fa, err := cluster.Dial(r.Addr(), node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := cluster.Dial(ref.Addr(), node)
+		if err != nil {
+			fa.Close()
+			t.Fatal(err)
+		}
+		for i, smp := range samples {
+			fest, err := fa.Send(smp.Time, smp.PMC, smp.Measured)
+			if err != nil {
+				t.Fatalf("fleet send %s[%d]: %v", node, i, err)
+			}
+			rest, err := ra.Send(smp.Time, smp.PMC, smp.Measured)
+			if err != nil {
+				t.Fatalf("ref send %s[%d]: %v", node, i, err)
+			}
+			if !sameEstimate(fest, rest) {
+				t.Fatalf("estimate %s[%d]: fleet %+v, ref %+v", node, i, fest, rest)
+			}
+		}
+		fa.Close()
+		ra.Close()
+	}
+
+	fa, err := cluster.Dial(r.Addr(), "query-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	ra, err := cluster.Dial(ref.Addr(), "query-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+
+	q := cluster.QueryRequest{Channel: "p_node", From: 0, To: seconds - 1, ResolutionS: 1}
+	fb, err := fa.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ra.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fj, rj := mustJSON(t, fb), mustJSON(t, rb); fj != rj {
+		t.Fatalf("replicated aggregate diverges:\nfleet %s\nref   %s", fj, rj)
+	}
+
+	// Every backend holds every node's complete series — that is what
+	// failover reads.
+	for _, node := range nodes {
+		nq := cluster.QueryRequest{NodeID: node, Channel: "p_node", From: 0, To: seconds - 1, ResolutionS: 1}
+		want, err := ra.Query(nq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for bi, be := range backends {
+			ba, err := cluster.Dial(be.Addr(), "verify-client")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ba.Query(nq)
+			ba.Close()
+			if err != nil {
+				t.Fatalf("backend %d query %s: %v", bi, node, err)
+			}
+			if gj, wj := mustJSON(t, got), mustJSON(t, want); gj != wj {
+				t.Fatalf("backend %d series for %s diverges:\ngot  %s\nwant %s", bi, node, gj, wj)
+			}
+		}
+	}
+
+	st := r.Stats()
+	if st.Replicated != int64(len(nodes)*seconds) {
+		t.Fatalf("replicated = %d, want %d", st.Replicated, len(nodes)*seconds)
+	}
+}
+
+// TestFleetBatchForwarding covers the KindRecordBatch path: a batching
+// front-end agent must receive the same per-sample estimates through the
+// router as against the service directly, and the history must match.
+func TestFleetBatchForwarding(t *testing.T) {
+	checkNoLeaks(t)
+	r, _ := startFleet(t, 2, DefaultTopologyOptions())
+	ref := startBackend(t)
+
+	const node = "batch-node"
+	const seconds = 32
+	samples := genSamples(t, 77, seconds)
+
+	send := func(addr string) []cluster.Estimate {
+		t.Helper()
+		opts := cluster.DefaultAgentOptions()
+		opts.Batch = cluster.BatchOptions{MaxSamples: 8}
+		ag, err := cluster.DialResilient(addr, node, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ag.Close()
+		var ests []cluster.Estimate
+		for _, smp := range samples {
+			got, err := ag.Record(smp.Time, smp.PMC, smp.Measured)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests = append(ests, got...)
+		}
+		got, err := ag.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(ests, got...)
+	}
+
+	fests := send(r.Addr())
+	rests := send(ref.Addr())
+	if len(fests) != seconds || len(rests) != seconds {
+		t.Fatalf("estimate counts: fleet %d, ref %d, want %d", len(fests), len(rests), seconds)
+	}
+	for i := range fests {
+		if !sameEstimate(fests[i], rests[i]) {
+			t.Fatalf("batch estimate[%d]: fleet %+v, ref %+v", i, fests[i], rests[i])
+		}
+	}
+
+	fa, err := cluster.Dial(r.Addr(), "query-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	ra, err := cluster.Dial(ref.Addr(), "query-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+	q := cluster.QueryRequest{NodeID: node, Channel: "p_cpu", From: 0, To: seconds - 1, ResolutionS: 1}
+	fb, err := fa.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ra.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fj, rj := mustJSON(t, fb), mustJSON(t, rb); fj != rj {
+		t.Fatalf("batched series diverges:\nfleet %s\nref   %s", fj, rj)
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	checkNoLeaks(t)
+	for _, tc := range []struct {
+		name string
+		top  Topology
+	}{
+		{"no shards", Topology{}},
+		{"empty name", Topology{Shards: []Shard{{Name: "", Addr: "x"}}}},
+		{"duplicate name", Topology{Shards: []Shard{{Name: "a", Addr: "x"}, {Name: "a", Addr: "y"}}}},
+	} {
+		if _, err := NewRouter(tc.top, TopologyOptions{}); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+
+	top := Topology{Shards: []Shard{{Name: "a", Addr: "x"}, {Name: "b", Addr: "y"}}}
+	r, err := NewRouter(top, TopologyOptions{Replication: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := r.Options()
+	if o.VirtualNodes != DefaultVirtualNodes || o.Replication != 2 || o.DialRetry != DefaultDialRetry {
+		t.Fatalf("resolved options = %+v", o)
+	}
+	if o.Agent.RequestTimeout == 0 || o.FrontEnd.MaxFrame == 0 {
+		t.Fatalf("agent/front-end defaults not applied: %+v", o)
+	}
+	if got := r.Topology(); !reflect.DeepEqual(got, top) {
+		t.Fatalf("topology = %+v", got)
+	}
+	if r.Addr() != "" {
+		t.Fatal("unbound router reports an address")
+	}
+}

@@ -1,0 +1,650 @@
+package fleet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"highrpm/internal/cluster"
+	"highrpm/internal/obs"
+)
+
+// Router fronts N cluster.Service backends behind one listener speaking
+// the ordinary cluster wire protocol (JSON framing; the binary codec is
+// negotiated per backend hop by the pooled agents, and a binary-capable
+// front-end agent falls back to JSON gracefully). See the package comment
+// for the routing, replication, and federation semantics.
+type Router struct {
+	top    Topology
+	opts   TopologyOptions
+	ring   *ring
+	shards []*shardState
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]string // conn -> node ID ("" before Hello)
+	peak   int
+	closed bool
+	wg     sync.WaitGroup
+
+	// nmu guards routes, the per-node forwarding registry. The registry is
+	// also the scatter-gather working set: a node joins it the first time
+	// an estimate is produced for it.
+	nmu    sync.Mutex
+	routes map[string]*nodeRoute
+
+	frames      atomic.Int64
+	timedOut    atomic.Int64
+	routed      atomic.Int64
+	replicated  atomic.Int64
+	failedOver  atomic.Int64
+	routeErrors atomic.Int64
+	scatters    atomic.Int64
+
+	// scatterHist, when set (RegisterMetrics), observes each
+	// scatter-gather's wall-clock latency.
+	scatterHist atomic.Pointer[obs.Histogram]
+
+	// Logf sinks router logs (defaults to log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// shardState is the router's view of one backend: the health bit the
+// drain/failover decisions read, and the shard's pooled query connection.
+// Per-node forwarding connections live on the nodeRoutes instead.
+type shardState struct {
+	shard Shard
+	up    atomic.Bool
+
+	qmu      sync.Mutex
+	query    *cluster.ResilientAgent // lazily dialed; serves queries, stats, model
+	nextDial time.Time
+}
+
+// nodeRoute is one node's forwarding state: the owning shards (primary
+// first) and one pooled ResilientAgent per owner. mu serializes the
+// node's whole ingest path — that is what preserves per-node sample order
+// across retries, degraded buffering, and replay — while distinct nodes
+// forward in parallel.
+type nodeRoute struct {
+	mu       sync.Mutex
+	owners   []int
+	agents   []*cluster.ResilientAgent
+	nextDial []time.Time
+	recorded atomic.Bool // an estimate was produced: the node exists for scatter-gather
+}
+
+// NewRouter validates the topology, builds the ring, and returns a router
+// ready to Listen. Option zero values take the documented defaults.
+func NewRouter(top Topology, opts TopologyOptions) (*Router, error) {
+	if opts.VirtualNodes <= 0 {
+		opts.VirtualNodes = DefaultVirtualNodes
+	}
+	rg, err := newRing(top.Shards, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Replication < 1 {
+		opts.Replication = 1
+	}
+	if opts.Replication > len(top.Shards) {
+		opts.Replication = len(top.Shards)
+	}
+	if opts.Agent == (cluster.AgentOptions{}) {
+		opts.Agent = cluster.DefaultAgentOptions()
+	}
+	if opts.FrontEnd == (cluster.ServiceOptions{}) {
+		opts.FrontEnd = cluster.DefaultServiceOptions()
+	}
+	if opts.FrontEnd.MaxFrame <= 0 {
+		opts.FrontEnd.MaxFrame = cluster.DefaultMaxFrame
+	}
+	if opts.DialRetry <= 0 {
+		opts.DialRetry = DefaultDialRetry
+	}
+	r := &Router{
+		top:    top,
+		opts:   opts,
+		ring:   rg,
+		conns:  map[net.Conn]string{},
+		routes: map[string]*nodeRoute{},
+		Logf:   log.Printf,
+	}
+	for _, sh := range top.Shards {
+		st := &shardState{shard: sh}
+		st.up.Store(true)
+		r.shards = append(r.shards, st)
+	}
+	return r, nil
+}
+
+// Topology reports the shard list the router was built with.
+func (r *Router) Topology() Topology { return r.top }
+
+// Options reports the resolved options the router runs with.
+func (r *Router) Options() TopologyOptions { return r.opts }
+
+// Listen starts accepting front-end agents on addr ("host:port"; ":0"
+// picks a free port). It returns immediately; Addr reports the bound
+// address.
+func (r *Router) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fleet: listen: %w", err)
+	}
+	r.ln = ln
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (r *Router) Addr() string {
+	if r.ln == nil {
+		return ""
+	}
+	return r.ln.Addr().String()
+}
+
+// Close stops the listener, terminates open front-end connections
+// immediately, waits for the handlers to finish, and only then closes the
+// pooled backend connections — so no handler can touch a closed agent.
+// Samples a degraded agent buffered but never replayed are lost, exactly
+// as if that agent's node had gone away; use Shutdown for a draining
+// stop.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	for c := range r.conns {
+		_ = c.Close()
+	}
+	r.mu.Unlock()
+	var err error
+	if r.ln != nil {
+		err = r.ln.Close()
+	}
+	r.wg.Wait()
+	r.closeAgents()
+	return err
+}
+
+// Shutdown drains the router gracefully: it stops accepting, lets every
+// handler finish the request it is processing (replies are still
+// written), reaps idle front-end connections immediately, and
+// force-closes whatever remains after grace. Backend connections close
+// last.
+func (r *Router) Shutdown(grace time.Duration) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	conns := make([]net.Conn, 0, len(r.conns))
+	//lint:ignore maporder teardown order over the connection set is immaterial
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+	var err error
+	if r.ln != nil {
+		err = r.ln.Close()
+	}
+	// An expired read deadline unblocks handlers parked between requests
+	// without cutting off a reply in flight (the same drain discipline
+	// cluster.Service.Shutdown uses).
+	now := time.Now()
+	for _, c := range conns {
+		c.SetReadDeadline(now)
+	}
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		r.mu.Lock()
+		for c := range r.conns {
+			_ = c.Close()
+		}
+		r.mu.Unlock()
+		<-done
+	}
+	r.closeAgents()
+	return err
+}
+
+// closeAgents tears down every pooled backend connection. Only called
+// after the handler WaitGroup drained, so nothing can race the agents.
+func (r *Router) closeAgents() {
+	r.nmu.Lock()
+	routes := make([]*nodeRoute, 0, len(r.routes))
+	//lint:ignore maporder teardown order over the route set is immaterial
+	for _, nr := range r.routes {
+		routes = append(routes, nr)
+	}
+	r.nmu.Unlock()
+	for _, nr := range routes {
+		nr.mu.Lock()
+		for _, ag := range nr.agents {
+			if ag != nil {
+				_ = ag.Close()
+			}
+		}
+		nr.mu.Unlock()
+	}
+	for _, st := range r.shards {
+		st.qmu.Lock()
+		if st.query != nil {
+			_ = st.query.Close()
+		}
+		st.qmu.Unlock()
+	}
+}
+
+// track registers a live front-end connection; false means the router is
+// closing or at its MaxConns cap and the connection should be dropped.
+func (r *Router) track(conn net.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	if r.opts.FrontEnd.MaxConns > 0 && len(r.conns) >= r.opts.FrontEnd.MaxConns {
+		return false
+	}
+	r.conns[conn] = ""
+	if len(r.conns) > r.peak {
+		r.peak = len(r.conns)
+	}
+	return true
+}
+
+func (r *Router) untrack(conn net.Conn) {
+	r.mu.Lock()
+	delete(r.conns, conn)
+	r.mu.Unlock()
+}
+
+// identify binds a connection to the node that said Hello on it.
+func (r *Router) identify(conn net.Conn, nodeID string) {
+	r.mu.Lock()
+	if _, ok := r.conns[conn]; ok {
+		r.conns[conn] = nodeID
+	}
+	r.mu.Unlock()
+}
+
+func (r *Router) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+func (r *Router) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			if !r.isClosed() {
+				r.Logf("fleet: accept: %v", err)
+			}
+			return
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			if err := r.handle(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				r.Logf("fleet: connection %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// handle serves one front-end connection: the same request loop a
+// cluster.Service runs, except every answer comes from the fleet instead
+// of a local model and store.
+func (r *Router) handle(conn net.Conn) error {
+	defer conn.Close()
+	if !r.track(conn) {
+		return nil
+	}
+	defer r.untrack(conn)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		if r.opts.FrontEnd.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(r.opts.FrontEnd.ReadTimeout))
+		}
+		env, err := cluster.ReadMsgLimit(br, r.opts.FrontEnd.MaxFrame)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && !r.isClosed() {
+				r.timedOut.Add(1)
+			}
+			return err
+		}
+		if r.opts.FrontEnd.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(r.opts.FrontEnd.WriteTimeout))
+		}
+		r.frames.Add(1)
+		switch env.Kind {
+		case cluster.KindHello:
+			var h cluster.Hello
+			if err := cluster.DecodeBody(env, &h); err != nil {
+				return err
+			}
+			r.routeFor(h.NodeID)
+			r.identify(conn, h.NodeID)
+			// The front-end always answers JSON (no Codec selection): the
+			// router re-frames per backend hop anyway, and a
+			// binary-preferring agent falls back to JSON on an unselected
+			// offer.
+			if err := cluster.WriteMsg(bw, cluster.KindHello, cluster.Hello{NodeID: h.NodeID}); err != nil {
+				return err
+			}
+		case cluster.KindSample:
+			var smp cluster.Sample
+			if err := cluster.DecodeBody(env, &smp); err != nil {
+				return err
+			}
+			est, ferr := r.forwardSample(smp)
+			if ferr != nil {
+				if werr := r.writeError(bw, ferr); werr != nil {
+					return werr
+				}
+				break
+			}
+			if err := cluster.WriteMsg(bw, cluster.KindEstimate, est); err != nil {
+				return err
+			}
+		case cluster.KindRecordBatch:
+			var rb cluster.RecordBatch
+			if err := cluster.DecodeBody(env, &rb); err != nil {
+				return err
+			}
+			ests, ferr := r.forwardBatch(&rb)
+			if ferr != nil {
+				if werr := r.writeError(bw, ferr); werr != nil {
+					return werr
+				}
+				break
+			}
+			if err := cluster.WriteMsg(bw, cluster.KindEstimateBatch, cluster.EstimateBatch{Estimates: ests}); err != nil {
+				return err
+			}
+		case cluster.KindQuery:
+			var q cluster.QueryRequest
+			if err := cluster.DecodeBody(env, &q); err != nil {
+				return err
+			}
+			body, qerr := r.answerQuery(q)
+			if qerr != nil {
+				if werr := r.writeError(bw, qerr); werr != nil {
+					return werr
+				}
+				break
+			}
+			if err := cluster.WriteMsg(bw, cluster.KindSeries, body); err != nil {
+				if errors.Is(err, cluster.ErrFrameTooLarge) {
+					// Nothing was written yet; tell the agent to narrow the
+					// window instead of killing the connection.
+					if werr := cluster.WriteMsg(bw, cluster.KindError, cluster.ErrorBody{Message: "series reply too large; narrow the query window or coarsen the resolution"}); werr != nil {
+						return werr
+					}
+					break
+				}
+				return err
+			}
+		case cluster.KindStats:
+			st, serr := r.MergedStats()
+			if serr != nil {
+				if werr := r.writeError(bw, serr); werr != nil {
+					return werr
+				}
+				break
+			}
+			if err := cluster.WriteMsg(bw, cluster.KindStats, st); err != nil {
+				return err
+			}
+		case cluster.KindModel:
+			data, merr := r.fetchModel()
+			if merr != nil {
+				if werr := r.writeError(bw, merr); werr != nil {
+					return werr
+				}
+				break
+			}
+			if err := cluster.WriteMsg(bw, cluster.KindModel, cluster.ModelBody{Data: data}); err != nil {
+				return err
+			}
+		default:
+			if err := cluster.WriteMsg(bw, cluster.KindError, cluster.ErrorBody{Message: fmt.Sprintf("unknown kind %q", env.Kind)}); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// writeError answers one failed request. A backend *ServiceError is
+// unwrapped so the front-end sees the service's own message, byte-
+// identical to a direct connection; everything else travels verbatim.
+func (r *Router) writeError(bw *bufio.Writer, err error) error {
+	r.routeErrors.Add(1)
+	msg := err.Error()
+	var se *cluster.ServiceError
+	if errors.As(err, &se) {
+		msg = se.Message
+	}
+	return cluster.WriteMsg(bw, cluster.KindError, cluster.ErrorBody{Message: msg})
+}
+
+// routeFor returns the node's forwarding state, computing ring placement
+// on first sight.
+func (r *Router) routeFor(nodeID string) *nodeRoute {
+	r.nmu.Lock()
+	defer r.nmu.Unlock()
+	nr, ok := r.routes[nodeID]
+	if !ok {
+		owners := r.ring.owners(nodeID, r.opts.Replication)
+		nr = &nodeRoute{
+			owners:   owners,
+			agents:   make([]*cluster.ResilientAgent, len(owners)),
+			nextDial: make([]time.Time, len(owners)),
+		}
+		r.routes[nodeID] = nr
+	}
+	return nr
+}
+
+// agentFor returns the pooled agent for owner i of nr, dialing on first
+// use and again DialRetry after each failed attempt. Nil means the shard
+// is unreachable and no model snapshot was ever fetched for this node —
+// there is nothing to degrade to. Callers hold nr.mu.
+func (r *Router) agentFor(nr *nodeRoute, i int, nodeID string) *cluster.ResilientAgent {
+	if nr.agents[i] != nil {
+		return nr.agents[i]
+	}
+	if time.Now().Before(nr.nextDial[i]) {
+		return nil
+	}
+	st := r.shards[nr.owners[i]]
+	ag, err := cluster.DialResilient(st.shard.Addr, nodeID, r.opts.Agent)
+	if err != nil {
+		nr.nextDial[i] = time.Now().Add(r.opts.DialRetry)
+		st.up.Store(false)
+		return nil
+	}
+	nr.agents[i] = ag
+	st.up.Store(true)
+	return ag
+}
+
+// errShardUnreachable marks a replica that could not even be dialed.
+func errShardUnreachable(name string) error {
+	return fmt.Errorf("fleet: shard %s unreachable", name)
+}
+
+// forwardSample routes one sample to the node's primary shard and, with
+// R > 1, to its followers in parallel (synchronous replication). The
+// primary's estimate is the reply; when the primary can only answer from
+// its local snapshot (its shard is down, the sample is buffered for
+// in-order replay), the first follower with a live service answer takes
+// over, so the front-end keeps receiving service-grade estimates through
+// single-shard outages.
+func (r *Router) forwardSample(smp cluster.Sample) (cluster.Estimate, error) {
+	nr := r.routeFor(smp.NodeID)
+	nr.mu.Lock()
+	defer nr.mu.Unlock()
+	n := len(nr.owners)
+	agents := make([]*cluster.ResilientAgent, n)
+	ests := make([]cluster.Estimate, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		agents[i] = r.agentFor(nr, i, smp.NodeID)
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		if agents[i] == nil {
+			errs[i] = errShardUnreachable(r.shards[nr.owners[i]].shard.Name)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, ag *cluster.ResilientAgent) {
+			defer wg.Done()
+			ests[i], errs[i] = ag.Send(smp.Time, smp.PMC, smp.Measured)
+		}(i, agents[i])
+	}
+	if agents[0] == nil {
+		errs[0] = errShardUnreachable(r.shards[nr.owners[0]].shard.Name)
+	} else {
+		ests[0], errs[0] = agents[0].Send(smp.Time, smp.PMC, smp.Measured)
+	}
+	wg.Wait()
+	return r.settle(nr, ests, errs)
+}
+
+// forwardBatch routes one record batch the same way forwardSample routes
+// one sample: primary plus followers in parallel, each through
+// ResilientAgent.SendSamples so a degraded replica buffers the whole
+// batch in order.
+func (r *Router) forwardBatch(rb *cluster.RecordBatch) ([]cluster.Estimate, error) {
+	nr := r.routeFor(rb.NodeID)
+	nr.mu.Lock()
+	defer nr.mu.Unlock()
+	n := len(nr.owners)
+	agents := make([]*cluster.ResilientAgent, n)
+	ests := make([][]cluster.Estimate, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		agents[i] = r.agentFor(nr, i, rb.NodeID)
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		if agents[i] == nil {
+			errs[i] = errShardUnreachable(r.shards[nr.owners[i]].shard.Name)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, ag *cluster.ResilientAgent) {
+			defer wg.Done()
+			ests[i], errs[i] = ag.SendSamples(rb.Samples)
+		}(i, agents[i])
+	}
+	if agents[0] == nil {
+		errs[0] = errShardUnreachable(r.shards[nr.owners[0]].shard.Name)
+	} else {
+		ests[0], errs[0] = agents[0].SendSamples(rb.Samples)
+	}
+	wg.Wait()
+	flat := make([]cluster.Estimate, n)
+	for i := range ests {
+		if len(ests[i]) > 0 {
+			flat[i] = ests[i][0]
+		}
+	}
+	pick, err := r.settleIdx(nr, flat, errs)
+	if err != nil {
+		return nil, err
+	}
+	return ests[pick], nil
+}
+
+// settle picks the front-end reply from the per-replica outcomes.
+func (r *Router) settle(nr *nodeRoute, ests []cluster.Estimate, errs []error) (cluster.Estimate, error) {
+	i, err := r.settleIdx(nr, ests, errs)
+	if err != nil {
+		return cluster.Estimate{}, err
+	}
+	return ests[i], nil
+}
+
+// settleIdx updates shard health from the per-replica outcomes, advances
+// the routing counters, and picks the replica whose answer becomes the
+// front-end reply:
+//
+//  1. a primary *ServiceError is returned as-is (the service rejected the
+//     request over a healthy link; followers rejected it identically),
+//  2. a live primary estimate wins,
+//  3. otherwise the first live follower estimate wins (failover),
+//  4. otherwise the primary's local-snapshot estimate is served (Local
+//     travels to the front-end so callers can see the degradation),
+//  5. otherwise any replica's local estimate, and only when every replica
+//     failed outright does the caller get an error.
+func (r *Router) settleIdx(nr *nodeRoute, ests []cluster.Estimate, errs []error) (int, error) {
+	live := make([]bool, len(errs)) // transport healthy and answer came from the service
+	for i, idx := range nr.owners {
+		healthy := errs[i] == nil && !ests[i].Local
+		if errs[i] != nil {
+			var se *cluster.ServiceError
+			healthy = errors.As(errs[i], &se)
+		}
+		live[i] = errs[i] == nil && !ests[i].Local
+		r.shards[idx].up.Store(healthy)
+	}
+	if live[0] {
+		r.routed.Add(1)
+	}
+	for i := 1; i < len(live); i++ {
+		if live[i] {
+			r.replicated.Add(1)
+		}
+	}
+	var se *cluster.ServiceError
+	if errs[0] != nil && errors.As(errs[0], &se) {
+		return 0, errs[0]
+	}
+	if live[0] {
+		nr.recorded.Store(true)
+		return 0, nil
+	}
+	for i := 1; i < len(live); i++ {
+		if live[i] {
+			r.failedOver.Add(1)
+			nr.recorded.Store(true)
+			return i, nil
+		}
+	}
+	for i := range errs {
+		if errs[i] == nil {
+			nr.recorded.Store(true)
+			return i, nil
+		}
+	}
+	return 0, errs[0]
+}

@@ -8,17 +8,18 @@ import (
 
 // leakcheck enforces the goroutine-guard test-suite convention introduced
 // with the fault-tolerance work and since extended to the observability
-// server and the tsdb read path: every Test* under internal/cluster/...,
-// internal/obs/... or internal/tsdb/... that spawns goroutines — directly,
-// through package helpers, by starting a service, agent, or HTTP server,
-// or by driving the store's parallel fan-out — must arm the checkNoLeaks
+// server, the tsdb read path, and the fleet router: every Test* under
+// internal/cluster/..., internal/obs/..., internal/tsdb/... or
+// internal/fleet/... that spawns goroutines — directly, through package
+// helpers, by starting a service, agent, router, or HTTP server, or by
+// driving the store's parallel fan-out — must arm the checkNoLeaks
 // goroutine-leak guard so a handler, reconnect loop, serve goroutine, or
 // stuck query worker that outlives its test fails the suite.
 type leakcheck struct{}
 
 func (leakcheck) Name() string { return "leakcheck" }
 func (leakcheck) Doc() string {
-	return "cluster, obs and tsdb tests that spawn goroutines or start servers must call checkNoLeaks"
+	return "cluster, obs, tsdb and fleet tests that spawn goroutines or start servers must call checkNoLeaks"
 }
 
 // spawnAPINames are cluster/obs/tsdb entry points known to start
@@ -39,6 +40,10 @@ var leakcheckedPrefixes = []string{
 	// goroutines and hands out pooled decode state; a test that wedges a
 	// worker would leak it silently without the guard.
 	modulePath + "/internal/tsdb",
+	// The fleet router spawns a goroutine per accepted connection, per
+	// replica forward, and per scatter-gather shard; a test that leaves a
+	// router or its pooled agents running would leak all of them.
+	modulePath + "/internal/fleet",
 }
 
 func leakcheckedPkg(path string) bool {

@@ -51,6 +51,9 @@ func TestFixtureFiresEveryAnalyzer(t *testing.T) {
 		"floateq internal/core/core.go:32",
 		"maporder internal/core/core.go:37",
 		"maporder internal/core/core.go:46",
+		"errdrop internal/fleet/router.go:34",
+		"errdrop internal/fleet/router.go:39",
+		"leakcheck internal/fleet/router_test.go:10",
 		"layering internal/mat/mat.go:5",
 		"leakcheck internal/obs/obs_test.go:10",
 		"errdrop internal/obs/server.go:32",

@@ -1,0 +1,50 @@
+// Package fleet carries the errdrop and leakcheck fixtures for the
+// scale-out router layer: discarded Router Shutdown/Close errors and
+// tests that start the accept goroutine without arming the guard.
+package fleet
+
+import "time"
+
+// Router is a fleet-like front-end that owns an accept goroutine.
+type Router struct {
+	done chan struct{}
+}
+
+// Listen starts the accept goroutine.
+func (r *Router) Listen() {
+	r.done = make(chan struct{})
+	go func() { <-r.done }()
+}
+
+// Shutdown drains in-flight requests and stops the router.
+func (r *Router) Shutdown(grace time.Duration) error {
+	_ = grace
+	close(r.done)
+	return nil
+}
+
+// Close stops the router immediately.
+func (r *Router) Close() error {
+	close(r.done)
+	return nil
+}
+
+// shutdownDropped discards the Shutdown error: errdrop violation.
+func shutdownDropped(r *Router) {
+	r.Shutdown(time.Second)
+}
+
+// closeDropped discards the Close error: errdrop violation.
+func closeDropped(r *Router) {
+	r.Close()
+}
+
+// shutdownOK propagates the error and must not be flagged.
+func shutdownOK(r *Router) error {
+	return r.Shutdown(time.Second)
+}
+
+// closeDeferred defers cleanup, which is exempt by design.
+func closeDeferred(r *Router) {
+	defer r.Close()
+}

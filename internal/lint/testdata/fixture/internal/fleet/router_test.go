@@ -1,0 +1,26 @@
+package fleet
+
+import "testing"
+
+// checkNoLeaks stands in for the real goroutine-leak guard.
+func checkNoLeaks(t testing.TB) { t.Helper() }
+
+// TestRouterLeaky starts the router's accept goroutine without arming the
+// guard: leakcheck violation.
+func TestRouterLeaky(t *testing.T) {
+	r := &Router{}
+	r.Listen()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterGuarded arms the guard and must not be flagged.
+func TestRouterGuarded(t *testing.T) {
+	checkNoLeaks(t)
+	r := &Router{}
+	r.Listen()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

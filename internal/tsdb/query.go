@@ -154,11 +154,6 @@ func (st *Store) Aggregate(ch Channel, from, to float64, res Resolution) ([]Poin
 	if err := validRes(res); err != nil {
 		return nil, err
 	}
-	type agg struct {
-		sum, min, max float64
-		count         int
-		nodes         int
-	}
 	// Fan the per-node reads out across shards (each holds its own lock, so
 	// the decodes genuinely run in parallel), then merge serially in sorted
 	// node order. Floating-point addition is not associative, so the serial
@@ -193,11 +188,32 @@ func (st *Store) Aggregate(ch Channel, from, to float64, res Resolution) ([]Poin
 			results[i], errs[i] = st.Query(node, ch, from, to, res)
 		}
 	}
-	acc := map[int64]*agg{}
 	for i := range nodes {
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
+	}
+	return MergeNodeSeries(results), nil
+}
+
+// MergeNodeSeries merges per-node series into the cross-node aggregate:
+// per timestamp (raw) or bucket (rollups), Value is the sum of node means,
+// Min/Max the summed per-node bounds and Count the total contributing raw
+// points; a timestamp where every node was NaN keeps NaN stats with
+// Count 0. Floating-point addition is not associative, so the accumulation
+// order is exactly the slice order — callers must pass the series in
+// sorted node order to get results bit-identical to Aggregate. This is the
+// one merge discipline shared by Aggregate's parallel fan-out and the
+// fleet router's scatter-gather federation, which is what keeps a sharded
+// deployment's aggregates byte-for-byte equal to a single store's.
+func MergeNodeSeries(results [][]Point) []Point {
+	type agg struct {
+		sum, min, max float64
+		count         int
+		nodes         int
+	}
+	acc := map[int64]*agg{}
+	for i := range results {
 		for _, p := range results[i] {
 			key := int64(math.Round(p.Time * 1000))
 			a := acc[key]
@@ -228,7 +244,7 @@ func (st *Store) Aggregate(ch Channel, from, to float64, res Resolution) ([]Poin
 		}
 		pts = append(pts, p)
 	}
-	return pts, nil
+	return pts
 }
 
 // Stats summarises the store's footprint.
